@@ -1,0 +1,155 @@
+"""E10 -- Section 8: the supervision/feature overlap failure mode.
+
+Paper artifact: "if the distant supervision rule is identical to or extremely
+similar to a feature function, standard statistical training procedures will
+fail badly...  the training procedure will build a model that places all
+weight on the single feature that overlaps with the supervision rule.  The
+trained statistical model will -- reasonably enough -- have little
+effectiveness in the real world."
+
+We build the spouse app twice: once normally, once with an extra feature
+that fires exactly when the supervision rule fires (mention pair found in the
+KB).  Shape checks: the poisoned model concentrates weight on the duplicate
+feature, held-out quality collapses relative to the clean model, and the
+overlap detector flags the culprit.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.apps import spouse
+from repro.core.app import DeepDive
+from repro.corpus import spouse as spouse_corpus
+from repro.inference import LearningOptions
+from repro.supervision import detect_supervision_overlap
+
+RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.0,
+                  learning=LearningOptions(epochs=60, seed=0),
+                  num_samples=250, burn_in=40, compute_train_histogram=False)
+
+
+def build_poisoned(corpus, seed=0) -> DeepDive:
+    """The spouse app with a feature that duplicates the DS rule."""
+    app = DeepDive(spouse.PROGRAM, seed=seed)
+
+    # which (sorted) mention-token pairs the Married KB covers
+    kb_entities = {frozenset(pair) for pair in corpus.kb["Married"]}
+    name_of = corpus.metadata["name_of"]
+    kb_name_pairs = {frozenset((name_of[a].lower(), name_of[b].lower()))
+                     for a, b in corpus.kb["Married"]}
+
+    from repro.apps.common import pair_features
+    from repro.nlp.tokenize import token_texts
+
+    def poisoned_features(p1, p2, content):
+        features = pair_features(p1, p2, content)
+        tokens = [t.lower() for t in token_texts(content)]
+        pair = frozenset((tokens[p1], tokens[p2]))
+        if pair in kb_name_pairs:
+            # identical in extension to the distant supervision rule
+            features.append("in_marriage_kb")
+        return features
+
+    app.register_udf("spouse_features", poisoned_features)
+    known_names = {name.lower() for name, _ in corpus.kb["NameEL"]}
+    app.add_extractor("PersonCandidate",
+                      spouse.person_extractor_factory(known_names))
+    app.add_extractor("SpouseSentence", lambda s: [(s.key, s.text)])
+    app.load_documents(corpus.documents)
+    name_entities = {}
+    for name, entity in corpus.kb["NameEL"]:
+        name_entities.setdefault(name.lower(), []).append(entity)
+    el_rows = []
+    for (_, mention_id, token, _) in app.db["PersonCandidate"].distinct_rows():
+        for entity in name_entities.get(token, ()):
+            el_rows.append((mention_id, entity))
+    app.add_rows("EL", el_rows)
+    app.add_rows("Married", corpus.kb["Married"])
+    app.add_rows("Sibling", corpus.kb["Sibling"])
+    acquainted = []
+    for a, b in corpus.metadata["distractors"][::2]:
+        acquainted += [(a, b), (b, a)]
+    app.add_rows("Acquainted", acquainted)
+    return app
+
+
+def heldout_recall(app, result, corpus):
+    """Recall restricted to couples the KB does NOT cover -- the 'real
+    world' the poisoned model fails in."""
+    kb_entities = {frozenset(pair) for pair in corpus.kb["Married"]}
+    name_of = corpus.metadata["name_of"]
+    token_of = {m: t for (_, m, t, _)
+                in app.db["PersonCandidate"].distinct_rows()}
+    gold = spouse.gold_mention_pairs(app, corpus)
+    unsupervised_gold = set()
+    entity_of = {}
+    for a, b in corpus.metadata["couples"]:
+        entity_of[name_of[a].lower()] = a
+        entity_of[name_of[b].lower()] = b
+    for m1, m2 in gold:
+        e1 = entity_of.get(token_of[m1])
+        e2 = entity_of.get(token_of[m2])
+        if e1 and e2 and frozenset((e1, e2)) not in kb_entities:
+            unsupervised_gold.add((m1, m2))
+    if not unsupervised_gold:
+        return float("nan")
+    accepted = result.output_tuples("MarriedMentions")
+    return len(unsupervised_gold & accepted) / len(unsupervised_gold)
+
+
+def test_e10_overlap_failure(benchmark, reporter):
+    corpus = spouse_corpus.generate(
+        spouse_corpus.SpouseConfig(num_couples=40, num_distractor_pairs=30,
+                                   num_sibling_pairs=10,
+                                   sentences_per_pair=3), seed=41)
+    outcome = {}
+
+    def experiment():
+        clean = spouse.build(corpus, seed=0)
+        clean_result = clean.run(**RUN_KWARGS)
+        outcome["clean_recall"] = heldout_recall(clean, clean_result, corpus)
+        outcome["clean_warnings"] = detect_supervision_overlap(clean.graph)
+
+        poisoned = build_poisoned(corpus, seed=0)
+        poisoned_result = poisoned.run(**RUN_KWARGS)
+        outcome["poisoned_recall"] = heldout_recall(poisoned, poisoned_result,
+                                                    corpus)
+        outcome["poisoned_warnings"] = detect_supervision_overlap(poisoned.graph)
+        weights = {s.key: (s.weight, s.observations)
+                   for s in poisoned_result.feature_stats}
+        dup_key = next(k for k in weights if "in_marriage_kb" in k)
+        dup_weight = abs(weights[dup_key][0])
+        other = max(abs(w) for k, (w, _) in weights.items()
+                    if "in_marriage_kb" not in k and "between:" in k)
+        outcome["dup_weight"] = dup_weight
+        outcome["max_phrase_weight"] = other
+        return outcome
+
+    once(benchmark, experiment)
+
+    reporter.line("E10 / Sec 8 -- supervision/feature overlap failure")
+    reporter.line("paper: a feature identical to the DS rule absorbs the")
+    reporter.line("training signal and the model stops generalizing")
+    reporter.line()
+    reporter.table(
+        ["model", "held-out (non-KB) recall", "overlap warnings"],
+        [["clean", f"{outcome['clean_recall']:.3f}",
+          len(outcome["clean_warnings"])],
+         ["poisoned", f"{outcome['poisoned_recall']:.3f}",
+          len(outcome["poisoned_warnings"])]])
+    reporter.line()
+    reporter.line(f"|weight| of duplicate feature: {outcome['dup_weight']:.2f}; "
+                  f"max |weight| of any phrase feature: "
+                  f"{outcome['max_phrase_weight']:.2f}")
+    if outcome["poisoned_warnings"]:
+        reporter.line("detector: " + outcome["poisoned_warnings"][0].describe())
+
+    # the duplicate feature soaks up the signal...
+    assert outcome["dup_weight"] > outcome["max_phrase_weight"]
+    # ...generalization to non-KB couples degrades...
+    assert outcome["poisoned_recall"] < outcome["clean_recall"] - 0.1
+    # ...and the detector catches it while the clean app stays silent
+    assert any("in_marriage_kb" in w.weight_key
+               for w in outcome["poisoned_warnings"])
+    assert not outcome["clean_warnings"]

@@ -1,0 +1,128 @@
+"""E12 -- Sections 5.1 & 5.2: the improvement iteration loop.
+
+Paper artifact: "a good software engineering team can reliably obtain better
+performance by applying systematic effort" -- the engineer repeatedly builds
+the error-analysis document, addresses the largest failure bucket, and
+re-runs.  (Also Section 5.3: trained engineers "produce many novel and
+high-quality databases in 1-2 days".)
+
+We script four iterations of the loop on the spouse application, each fixing
+the dominant failure class the error analysis surfaces:
+
+  v0  distance feature only (the flailing starting point)
+  v1  + inter-mention phrase features      (fixes insufficient-features)
+  v2  + negative distant supervision       (fixes incorrect-weights)
+  v3  + window features                    (mops up the tail)
+
+Shape checks: F1 improves across iterations and the error-analysis bucket
+counts shrink.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.apps import spouse
+from repro.apps.common import pair_features, window_features
+from repro.core.app import DeepDive
+from repro.corpus import spouse as spouse_corpus
+from repro.inference import LearningOptions
+from repro.nlp.tokenize import token_texts
+
+RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.1,
+                  learning=LearningOptions(epochs=60, seed=0),
+                  num_samples=250, burn_in=40, compute_train_histogram=False)
+
+
+def features_v0(p1, p2, content):
+    return [f"dist:{min(p2 - p1, 10)}"]
+
+
+def features_v1(p1, p2, content):
+    tokens = [t.lower() for t in token_texts(content)]
+    between = tokens[p1 + 1:p2]
+    features = features_v0(p1, p2, content)
+    if len(between) <= 8:
+        features.append("between:" + " ".join(between))
+    return features
+
+
+def features_v3(p1, p2, content):
+    return (features_v1(p1, p2, content)
+            + window_features(p1, content, prefix="m1_")
+            + window_features(p2, content, prefix="m2_"))
+
+
+def build_iteration(corpus, feature_fn, negative_supervision, seed=0):
+    app = DeepDive(spouse.PROGRAM, seed=seed)
+    app.register_udf("spouse_features", feature_fn)
+    known_names = {name.lower() for name, _ in corpus.kb["NameEL"]}
+    app.add_extractor("PersonCandidate",
+                      spouse.person_extractor_factory(known_names))
+    app.add_extractor("SpouseSentence", lambda s: [(s.key, s.text)])
+    app.load_documents(corpus.documents)
+    name_entities = {}
+    for name, entity in corpus.kb["NameEL"]:
+        name_entities.setdefault(name.lower(), []).append(entity)
+    el_rows = []
+    for (_, mention_id, token, _) in app.db["PersonCandidate"].distinct_rows():
+        for entity in name_entities.get(token, ()):
+            el_rows.append((mention_id, entity))
+    app.add_rows("EL", el_rows)
+    app.add_rows("Married", corpus.kb["Married"])
+    if negative_supervision:
+        app.add_rows("Sibling", corpus.kb["Sibling"])
+        acquainted = []
+        for a, b in corpus.metadata["distractors"][::2]:
+            acquainted += [(a, b), (b, a)]
+        app.add_rows("Acquainted", acquainted)
+    return app
+
+
+ITERATIONS = [
+    ("v0 distance only", features_v0, False),
+    ("v1 + phrase features", features_v1, False),
+    ("v2 + negative supervision", features_v1, True),
+    ("v3 + window features", features_v3, True),
+]
+
+
+def test_e12_iteration_loop(benchmark, reporter):
+    corpus = spouse_corpus.generate(
+        spouse_corpus.SpouseConfig(num_couples=40, num_distractor_pairs=40,
+                                   num_sibling_pairs=12,
+                                   sentences_per_pair=3), seed=61)
+    history = []
+
+    def experiment():
+        for name, feature_fn, negatives in ITERATIONS:
+            app = build_iteration(corpus, feature_fn, negatives)
+            result = app.run(**RUN_KWARGS)
+            quality = spouse.evaluate(app, result, corpus)
+            gold = spouse.gold_mention_pairs(app, corpus)
+            report = app.error_analysis(result, "MarriedMentions", gold,
+                                        sample_size=100)
+            top = report.top_bucket()
+            history.append((name, quality,
+                            top.tag if top else "-", top.count if top else 0))
+        return history
+
+    once(benchmark, experiment)
+
+    rows = [[name, f"{pr.precision:.3f}", f"{pr.recall:.3f}",
+             f"{pr.f1:.3f}", f"{tag} ({count})"]
+            for name, pr, tag, count in history]
+    reporter.line("E12 / Secs 5.1-5.2 -- the improvement iteration loop")
+    reporter.line("paper: systematic error analysis -> targeted fix -> rerun")
+    reporter.line("yields reliable quality improvements")
+    reporter.line()
+    reporter.table(["iteration", "P", "R", "F1", "top failure bucket"], rows)
+
+    f1s = [pr.f1 for _, pr, _, _ in history]
+    # each scripted iteration improves (or at least never hurts) quality
+    for earlier, later in zip(f1s, f1s[1:]):
+        assert later >= earlier - 0.02
+    assert f1s[-1] > f1s[0] + 0.15
+    assert f1s[-1] > 0.85
+    # the dominant failure bucket shrinks across the loop
+    assert history[-1][3] <= history[0][3]

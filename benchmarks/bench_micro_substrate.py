@@ -1,0 +1,79 @@
+"""Substrate microbenchmarks: regression guards on the hot paths.
+
+Not paper artifacts -- these keep the building blocks honest so the E1-E13
+experiments stay comparable across changes: hash-join throughput, DRed
+delta latency, NLP preprocessing rate, DDlog parse time, and SQL execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datastore import Database, Join, Project, Relation, Scan, Schema
+from repro.datastore import query as Q
+from repro.datastore.sql import execute
+from repro.ddlog import parse_program
+from repro.nlp.pipeline import Document, preprocess_document
+
+
+def _pair_relation(name: str, n: int, key_space: int, seed: int) -> Relation:
+    rng = np.random.default_rng(seed)
+    relation = Relation(name, Schema.of(k="int", v="int"))
+    for i in range(n):
+        relation.insert((int(rng.integers(0, key_space)), i))
+    return relation
+
+
+def test_micro_hash_join(benchmark):
+    left = _pair_relation("l", 5000, 500, 0)
+    right = _pair_relation("r", 5000, 500, 1)
+    out = benchmark(lambda: Q.join(left, right, on=[("k", "k")]))
+    assert len(out) > 0
+
+
+def test_micro_ivm_single_row_delta(benchmark):
+    db = Database()
+    db.create("R", x="int", y="int")
+    db.create("S", y="int", z="int")
+    rng = np.random.default_rng(0)
+    db.insert("R", [(int(rng.integers(0, 500)), int(rng.integers(0, 200)))
+                    for _ in range(4000)])
+    db.insert("S", [(int(rng.integers(0, 200)), i) for i in range(2000)])
+    db.views.define("V", Project(Join(Scan("R"), Scan("S"), (("y", "y"),)),
+                                 ("x", "z")))
+    counter = iter(range(10_000_000))
+
+    def one_delta():
+        i = next(counter)
+        db.views.apply_changes(inserts={"R": [(1000000 + i, i % 200)]})
+
+    benchmark(one_delta)
+
+
+def test_micro_nlp_pipeline(benchmark):
+    doc = Document("d", " ".join(
+        f"Sentence number {i} mentions Barack Obama and the BRCA{i % 9} gene ."
+        for i in range(40)))
+    sentences = benchmark(lambda: preprocess_document(doc))
+    assert len(sentences) == 40
+
+
+def test_micro_ddlog_parse(benchmark):
+    source = "\n".join(
+        [f"R{i}(a text, b int)." for i in range(30)]
+        + [f"Q{i}?(a text)." for i in range(10)]
+        + [f"Q{i}(a) :- R{i}(a, n), [n > 3] weight = f(a)." for i in range(10)])
+    ast = benchmark(lambda: parse_program(source))
+    assert len(ast.rules) == 10
+
+
+def test_micro_sql_group_by(benchmark):
+    db = Database()
+    db.create("t", k="text", v="int")
+    rng = np.random.default_rng(0)
+    db.insert("t", [(f"g{int(rng.integers(0, 40))}", int(rng.integers(0, 100)))
+                    for _ in range(4000)])
+    result = benchmark(lambda: execute(
+        db, "SELECT k, COUNT(*) AS n, AVG(v) AS mean FROM t "
+            "GROUP BY k ORDER BY n DESC LIMIT 10"))
+    assert len(result) == 10

@@ -1,0 +1,55 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark prints the table/series it reproduces (the paper's artifact)
+and writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
+can reference stable outputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Collects lines for one experiment and persists them at the end."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+                  else len(str(h)) for i, h in enumerate(headers)]
+        self.line("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(self.lines) + "\n"
+        (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)
+        print(f"\n===== {self.experiment} =====")
+        print(text)
+
+
+@pytest.fixture
+def reporter(request):
+    """Per-test reporter; results land in results/<module>.<test>.txt."""
+    module = request.module.__name__.removeprefix("bench_")
+    test = request.node.name.removeprefix("test_")
+    rep = Reporter(f"{module}.{test}")
+    yield rep
+    rep.flush()
+
+
+def once(benchmark, fn):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

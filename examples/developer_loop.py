@@ -1,0 +1,105 @@
+"""The DeepDive developer loop (paper Figure 1 and Section 5), scripted.
+
+Plays the role of the knowledge engineer across three iterations: run the
+system, produce the error-analysis document, read off the top failure
+bucket, apply the matching fix, and rerun.  Also demonstrates the
+supervision-overlap detector from Section 8 catching a bad feature before it
+poisons a training run.
+
+Run:  python examples/developer_loop.py
+"""
+
+from repro.apps import spouse
+from repro.apps.common import pair_features, window_features
+from repro.core.app import DeepDive
+from repro.corpus import spouse as spouse_corpus
+from repro.inference import LearningOptions
+from repro.nlp.tokenize import token_texts
+from repro.supervision import detect_supervision_overlap
+
+RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.1,
+                  learning=LearningOptions(epochs=50, seed=0),
+                  num_samples=200, burn_in=30, compute_train_histogram=False)
+
+
+def build(corpus, feature_fn, negatives, seed=0):
+    app = DeepDive(spouse.PROGRAM, seed=seed)
+    app.register_udf("spouse_features", feature_fn)
+    known_names = {name.lower() for name, _ in corpus.kb["NameEL"]}
+    app.add_extractor("PersonCandidate",
+                      spouse.person_extractor_factory(known_names))
+    app.add_extractor("SpouseSentence", lambda s: [(s.key, s.text)])
+    app.load_documents(corpus.documents)
+    name_entities = {}
+    for name, entity in corpus.kb["NameEL"]:
+        name_entities.setdefault(name.lower(), []).append(entity)
+    app.add_rows("EL", [(m, e) for (_, m, t, _)
+                        in app.db["PersonCandidate"].distinct_rows()
+                        for e in name_entities.get(t, ())])
+    app.add_rows("Married", corpus.kb["Married"])
+    if negatives:
+        app.add_rows("Sibling", corpus.kb["Sibling"])
+        acquainted = []
+        for a, b in corpus.metadata["distractors"][::2]:
+            acquainted += [(a, b), (b, a)]
+        app.add_rows("Acquainted", acquainted)
+    return app
+
+
+def distance_only(p1, p2, content):
+    return [f"dist:{min(p2 - p1, 10)}"]
+
+
+def full_features(p1, p2, content):
+    return (pair_features(p1, p2, content)
+            + window_features(p1, content, prefix="m1_"))
+
+
+ITERATIONS = [
+    ("iteration 0: distance feature only", distance_only, False),
+    ("iteration 1: + phrase/window features", full_features, False),
+    ("iteration 2: + negative supervision", full_features, True),
+]
+
+
+def main():
+    corpus = spouse_corpus.generate(
+        spouse_corpus.SpouseConfig(num_couples=30, num_distractor_pairs=30,
+                                   num_sibling_pairs=10,
+                                   sentences_per_pair=3), seed=13)
+
+    for title, feature_fn, negatives in ITERATIONS:
+        print("=" * 70)
+        print(title)
+        app = build(corpus, feature_fn, negatives)
+        result = app.run(**RUN_KWARGS)
+        quality = spouse.evaluate(app, result, corpus)
+        print(f"quality: {quality}")
+        gold = spouse.gold_mention_pairs(app, corpus)
+        report = app.error_analysis(result, "MarriedMentions", gold,
+                                    sample_size=60)
+        top = report.top_bucket()
+        if top:
+            print(f"top failure bucket: {top.tag} (count {top.count})")
+            print("engineer's next action: "
+                  + {"insufficient-features": "write a richer feature UDF",
+                     "incorrect-weights": "add a distant-supervision rule",
+                     "candidate-generation-failure":
+                         "fix the candidate extractor"}.get(top.tag, "inspect"))
+        else:
+            print("no failures in the sampled error analysis")
+
+    print("=" * 70)
+    print("section 8 check: the supervision-overlap detector")
+    app = build(corpus, full_features, True)
+    app.grounder   # ground
+    warnings = detect_supervision_overlap(app.graph)
+    if warnings:
+        for warning in warnings:
+            print("  WARNING:", warning.describe())
+    else:
+        print("  no feature duplicates a distant-supervision rule -- safe")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Example DeepDive applications, one per paper Section 6 domain (plus the
+Section 2.4 book-catalog integration example).
+
+Each module exposes ``build(corpus) -> DeepDive`` and ``evaluate(app,
+result, corpus) -> PrecisionRecall`` so benchmarks can treat them uniformly.
+"""
+
+from repro.apps import ads, books, genetics, materials, paleo, pharma, spouse
+
+__all__ = ["ads", "books", "genetics", "materials", "paleo", "pharma", "spouse"]

@@ -1,0 +1,134 @@
+"""The book-catalog application: integrated processing (paper Section 2.4).
+
+Target schema: ``(bookTitle, price)`` from review pages.  The corpus salts in
+movie reviews whose phrasing fools a surface extractor; the integrated model
+repairs them the way the paper prescribes -- the freely available movie
+dictionary becomes one more source of evidence (a feature and a negative
+supervision rule), with no separate "integration team" involved.
+
+Title and price mentions are paired at the *document* level (a review page
+names its subject once and its price elsewhere), so features combine the
+title sentence's context with the price sentence's context.
+
+The siloed counterpart this is compared against lives in
+:mod:`repro.baselines.siloed`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.apps.common import contains_any, window_features
+from repro.core.app import DeepDive
+from repro.core.result import RunResult
+from repro.corpus.base import GeneratedCorpus
+from repro.eval.metrics import PrecisionRecall, precision_recall
+
+PROGRAM = """
+BookSentence(s text, content text).
+TitleMention(s text, m text, doc text, title text, position int).
+PriceMention(s text, m text, doc text, value text, position int).
+BookCandidate(title text, value text).
+BookPair(doc text, m1 text, m2 text, p1 int, p2 int, s1 text, s2 text,
+         title text, value text).
+BookPrice?(title text, value text).
+Catalog(title text, author text).
+MovieDict(title text).
+CatalogTitle(title text).
+
+CatalogTitle(t) :- Catalog(t, a).
+
+BookCandidate(t, v) :-
+    TitleMention(s1, m1, doc, t, p1), PriceMention(s2, m2, doc, v, p2).
+
+BookPair(doc, m1, m2, p1, p2, s1, s2, t, v) :-
+    TitleMention(s1, m1, doc, t, p1), PriceMention(s2, m2, doc, v, p2).
+
+BookPrice(t, v) :-
+    BookPair(doc, m1, m2, p1, p2, s1, s2, t, v),
+    BookSentence(s1, c1), BookSentence(s2, c2)
+    weight = book_features(p1, c1, p2, c2, t).
+
+BookPrice_Ev(t, v, true) :-
+    BookCandidate(t, v), CatalogTitle(t).
+
+BookPrice_Ev(t, v, false) :-
+    BookCandidate(t, v), MovieDict(t).
+"""
+
+PRICE_PATTERN = re.compile(r"^\d+\.\d{2}$")
+BOOK_WORDS = {"novel", "paperback", "book", "written", "buy"}
+MOVIE_WORDS = {"film", "tickets", "screens", "admission", "directed", "movie"}
+
+
+def title_extractor(sentence):
+    """Candidates: 'The Xxxxx' two-token spans (surface extractor)."""
+    rows = []
+    tokens = sentence.tokens
+    for position in range(len(tokens) - 1):
+        if tokens[position] == "The" and tokens[position + 1][:1].isupper():
+            title = f"The {tokens[position + 1]}"
+            mention = f"{sentence.key}:t{position}"
+            rows.append((sentence.key, mention, sentence.doc_id, title, position))
+    return rows
+
+
+def price_extractor(sentence):
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        if PRICE_PATTERN.match(token):
+            mention = f"{sentence.key}:p{position}"
+            rows.append((sentence.key, mention, sentence.doc_id, token, position))
+    return rows
+
+
+def book_features_factory(movie_titles: set[str]):
+    """Title-context + price-context + genre keywords + the dictionary feature.
+
+    The dictionary feature is the crux of the integrated-processing argument:
+    "It would be vastly simpler for the integration team to simply filter out
+    extracted tuples that contain movie titles (for which there are free and
+    high-quality downloadable databases)."
+    """
+    def book_features(p1: int, c1: str, p2: int, c2: str, title: str) -> list[str]:
+        features = [f"title_{f}" for f in window_features(p1, c1, size=2)]
+        features += [f"price_{f}" for f in window_features(p2, c2, size=2)]
+        combined = c1 + " " + c2
+        if contains_any(combined, BOOK_WORDS):
+            features.append("kw:book_context")
+        if contains_any(combined, MOVIE_WORDS):
+            features.append("kw:movie_context")
+        if title in movie_titles:
+            features.append("dict:in_movie_db")
+        return features
+    return book_features
+
+
+def build(corpus: GeneratedCorpus, seed: int = 0,
+          use_movie_dictionary: bool = True) -> DeepDive:
+    """Wire the integrated book-catalog application.
+
+    ``use_movie_dictionary=False`` ablates the cross-stage evidence, leaving
+    only what a siloed extractor team could see.
+    """
+    app = DeepDive(PROGRAM, seed=seed)
+    movie_titles = {t for (t,) in corpus.kb["MovieDict"]} \
+        if use_movie_dictionary else set()
+    app.register_udf("book_features", book_features_factory(movie_titles))
+
+    app.add_extractor("TitleMention", title_extractor, name="titles")
+    app.add_extractor("PriceMention", price_extractor, name="prices")
+    app.add_extractor("BookSentence", lambda s: [(s.key, s.text)],
+                      name="sentence_content")
+    app.load_documents(corpus.documents)
+
+    app.add_rows("Catalog", corpus.kb["Catalog"])
+    if use_movie_dictionary:
+        app.add_rows("MovieDict", corpus.kb["MovieDict"])
+    return app
+
+
+def evaluate(app: DeepDive, result: RunResult,
+             corpus: GeneratedCorpus) -> PrecisionRecall:
+    return precision_recall(result.output_tuples("BookPrice"),
+                            corpus.truth["book_price"])

@@ -1,0 +1,55 @@
+"""Feature helpers shared by the example applications.
+
+All features are human-understandable strings (Section 2.5: "all of the
+features that DeepDive uses are easily human-understandable") -- phrases,
+window words, bucketed distances, unit tokens.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.tokenize import token_texts
+
+
+def pair_features(p1: int, p2: int, content: str, prefix: str = "",
+                  max_between: int = 8) -> list[str]:
+    """Standard mention-pair feature template set.
+
+    * the inter-mention phrase,
+    * the one-token windows outside the pair,
+    * the bucketed token distance.
+    """
+    tokens = [t.lower() for t in token_texts(content)]
+    if p1 > p2:
+        p1, p2 = p2, p1
+    features = []
+    between = tokens[p1 + 1:p2]
+    if len(between) <= max_between:
+        features.append(f"{prefix}between:" + " ".join(between))
+    if p1 > 0:
+        features.append(f"{prefix}left:" + tokens[p1 - 1])
+    if p2 + 1 < len(tokens):
+        features.append(f"{prefix}right:" + tokens[p2 + 1])
+    features.append(f"{prefix}dist:{min(p2 - p1, 10)}")
+    return features
+
+
+def window_features(position: int, content: str, prefix: str = "",
+                    size: int = 2) -> list[str]:
+    """Window words around a single mention."""
+    tokens = [t.lower() for t in token_texts(content)]
+    features = []
+    for offset in range(1, size + 1):
+        if position - offset >= 0:
+            features.append(f"{prefix}l{offset}:{tokens[position - offset]}")
+        if position + offset < len(tokens):
+            features.append(f"{prefix}r{offset}:{tokens[position + offset]}")
+    return features
+
+
+def contains_any(content: str, words: set[str],
+                 start: int | None = None, end: int | None = None) -> bool:
+    """Does the (sub)sentence contain any of ``words`` (lowercased tokens)?"""
+    tokens = [t.lower() for t in token_texts(content)]
+    if start is not None or end is not None:
+        tokens = tokens[start or 0:end]
+    return any(t in words for t in tokens)

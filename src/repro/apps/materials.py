@@ -1,0 +1,185 @@
+"""The materials-science application (paper Section 6.3, with Toshiba).
+
+Aspirational schema: ``MaterialProperty(formula, property, value)`` -- the
+"handbook of semiconductor materials" the paper says does not exist.  The
+model scores (formula-mention, number-mention) pairs; the property name is
+recovered deterministically from the measurement unit next to the accepted
+number.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.apps.common import pair_features
+from repro.core.app import DeepDive
+from repro.core.result import RunResult
+from repro.corpus.base import GeneratedCorpus
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.nlp.tokenize import token_texts
+
+PROGRAM = """
+MatSentence(s text, content text).
+FormulaMention(s text, m text, formula text, position int).
+NumberMention(s text, m text, value text, position int).
+MatCandidate(m1 text, m2 text).
+MatPair(s text, m1 text, m2 text, p1 int, p2 int).
+PropertyMention?(m1 text, m2 text).
+FormulaOf(m text, f text).
+ValueOf(m text, v text).
+Handbook(f text, prop text, v text).
+HandbookPair(f text, v text).
+
+MatCandidate(m1, m2) :-
+    FormulaMention(s, m1, f, p1), NumberMention(s, m2, v, p2).
+
+MatPair(s, m1, m2, p1, p2) :-
+    FormulaMention(s, m1, f, p1), NumberMention(s, m2, v, p2).
+
+HandbookPair(f, v) :- Handbook(f, prop, v).
+
+PropertyMention(m1, m2) :-
+    MatPair(s, m1, m2, p1, p2), MatSentence(s, content)
+    weight = mat_features(p1, p2, content).
+
+PropertyMention_Ev(m1, m2, true) :-
+    MatCandidate(m1, m2), FormulaOf(m1, f), ValueOf(m2, v), HandbookPair(f, v).
+
+PropertyMention_Ev(m1, m2, false) :-
+    MatCandidate(m1, m2), FormulaOf(m1, f), ValueOf(m2, v),
+    HandbookPair(f, v2), [v != v2].
+"""
+
+FORMULA_PATTERN = re.compile(r"^(?:[A-Z][a-z]?){2,3}$")
+NUMBER_PATTERN = re.compile(r"^\d[\d,]*(?:\.\d+)?$")
+
+UNIT_PROPERTY = {
+    "cm2/vs": "electron_mobility",
+    "cm2": "electron_mobility",
+    "ev": "band_gap",
+}
+
+
+def formula_extractor(sentence):
+    """Candidates: element-pair-shaped tokens (GaAs, InP, ...)."""
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        if FORMULA_PATTERN.match(token) and not token.isupper() \
+                and sum(c.isupper() for c in token) >= 2:
+            mention = f"{sentence.key}:f{position}"
+            rows.append((sentence.key, mention, token, position))
+    return rows
+
+
+def number_extractor(sentence):
+    """Candidates: every numeric token (high recall, low precision)."""
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        if NUMBER_PATTERN.match(token):
+            mention = f"{sentence.key}:n{position}"
+            rows.append((sentence.key, mention, token, position))
+    return rows
+
+
+def mat_features(p1: int, p2: int, content: str) -> list[str]:
+    """Pair features plus the unit token following the number."""
+    tokens = [t.lower() for t in token_texts(content)]
+    number_position = max(p1, p2)
+    features = pair_features(p1, p2, content)
+    if number_position + 1 < len(tokens):
+        features.append(f"unit:{tokens[number_position + 1]}")
+    if number_position + 2 < len(tokens):
+        features.append(f"unit2:{tokens[number_position + 2]}")
+    return features
+
+
+def property_from_sentence(content: str, number_position: int) -> str:
+    """Deterministic property naming from the unit next to the number."""
+    tokens = [t.lower() for t in token_texts(content)]
+    window = "/".join(tokens[number_position + 1:number_position + 4])
+    for unit, prop in UNIT_PROPERTY.items():
+        if unit in window:
+            return prop
+    return "unknown"
+
+
+def _split_header(header: str) -> tuple[str, str]:
+    """'electron mobility ( cm2/Vs )' -> ('electron mobility', 'cm2/Vs')."""
+    if "(" in header and ")" in header:
+        label, _, rest = header.partition("(")
+        unit = rest.split(")")[0]
+        return label.strip(), unit.strip()
+    return header.strip(), ""
+
+
+def table_extractor(doc) -> dict[str, list[tuple]]:
+    """Measurement-table candidates (the paper's tabular dark data).
+
+    Each qualifying data cell becomes a pseudo-sentence
+    ``"<formula> <property> <value> <unit>"`` so the ordinary pair features
+    (including the unit-after-number feature) apply unchanged.
+    """
+    from repro.nlp.tables import cell_candidates
+
+    rows: dict[str, list[tuple]] = {"MatSentence": [], "FormulaMention": [],
+                                    "NumberMention": []}
+    for cell_id, row_header, column_header, value in cell_candidates(
+            doc.doc_id, doc.content):
+        if not (FORMULA_PATTERN.match(row_header)
+                and sum(c.isupper() for c in row_header) >= 2
+                and NUMBER_PATTERN.match(value)):
+            continue
+        label, unit = _split_header(column_header)
+        content = f"{row_header} {label} {value} {unit}".strip()
+        tokens = token_texts(content)
+        try:
+            value_position = tokens.index(value)
+        except ValueError:
+            continue
+        rows["MatSentence"].append((cell_id, content))
+        rows["FormulaMention"].append((cell_id, f"{cell_id}:f", row_header, 0))
+        rows["NumberMention"].append((cell_id, f"{cell_id}:n", value,
+                                      value_position))
+    return rows
+
+
+def build(corpus: GeneratedCorpus, seed: int = 0) -> DeepDive:
+    """Wire the materials application for a generated corpus."""
+    app = DeepDive(PROGRAM, seed=seed)
+    app.register_udf("mat_features", mat_features)
+
+    app.add_extractor("FormulaMention", formula_extractor, name="formulas")
+    app.add_extractor("NumberMention", number_extractor, name="numbers")
+    app.add_extractor("MatSentence", lambda s: [(s.key, s.text)],
+                      name="sentence_content")
+    app.add_document_extractor(table_extractor, name="measurement_tables")
+    app.load_documents(corpus.documents)
+
+    app.add_rows("FormulaOf", [(m, f) for (_, m, f, _)
+                               in app.db["FormulaMention"].distinct_rows()])
+    app.add_rows("ValueOf", [(m, v) for (_, m, v, _)
+                             in app.db["NumberMention"].distinct_rows()])
+    app.add_rows("Handbook", corpus.kb["Handbook"])
+    return app
+
+
+def entity_predictions(app: DeepDive, result: RunResult) -> set[tuple]:
+    """Accepted pairs lifted to (formula, property, value) triples."""
+    formula_of = dict(app.db["FormulaOf"].distinct_rows())
+    value_of = dict(app.db["ValueOf"].distinct_rows())
+    positions = {m: (s, position) for (s, m, _, position)
+                 in app.db["NumberMention"].distinct_rows()}
+    # MatSentence covers both prose sentences and table pseudo-sentences
+    sentences = dict(app.db["MatSentence"].distinct_rows())
+    triples = set()
+    for (m1, m2) in result.output_tuples("PropertyMention"):
+        sentence_key, number_position = positions[m2]
+        prop = property_from_sentence(sentences[sentence_key], number_position)
+        triples.add((formula_of[m1], prop, value_of[m2]))
+    return triples
+
+
+def evaluate(app: DeepDive, result: RunResult,
+             corpus: GeneratedCorpus) -> PrecisionRecall:
+    return precision_recall(entity_predictions(app, result),
+                            corpus.truth["material_property"])

@@ -1,0 +1,106 @@
+"""The paleontology application (PaleoDeepDive, paper reference [37]).
+
+Aspirational schema: ``Occurs(taxon, formation)`` -- which fossil taxa occur
+in which geological formations -- supervised by an incomplete PBDB-style
+occurrence database plus a non-occurrence-context heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import contains_any, pair_features
+from repro.core.app import DeepDive
+from repro.core.result import RunResult
+from repro.corpus.base import GeneratedCorpus
+from repro.corpus.paleo import GENUS_SUFFIXES
+from repro.eval.metrics import PrecisionRecall, precision_recall
+
+PROGRAM = """
+PaleoSentence(s text, content text).
+TaxonMention(s text, m text, taxon text, position int).
+FormationMention(s text, m text, formation text, position int).
+OccursCandidate(m1 text, m2 text).
+TFPair(s text, m1 text, m2 text, p1 int, p2 int).
+OccursMention?(m1 text, m2 text).
+TaxonOf(m text, t text).
+FormationOf(m text, f text).
+Pbdb(t text, f text).
+
+OccursCandidate(m1, m2) :-
+    TaxonMention(s, m1, t, p1), FormationMention(s, m2, f, p2).
+
+TFPair(s, m1, m2, p1, p2) :-
+    TaxonMention(s, m1, t, p1), FormationMention(s, m2, f, p2).
+
+OccursMention(m1, m2) :-
+    TFPair(s, m1, m2, p1, p2), PaleoSentence(s, content)
+    weight = tf_features(p1, p2, content).
+
+OccursMention_Ev(m1, m2, true) :-
+    OccursCandidate(m1, m2), TaxonOf(m1, t), FormationOf(m2, f), Pbdb(t, f).
+
+OccursMention_Ev(m1, m2, false) :-
+    TFPair(s, m1, m2, p1, p2), PaleoSentence(s, content),
+    [nonoccurrence_context(content)].
+"""
+
+NONOCCURRENCE_MARKERS = {"before", "barren", "unlike", "unstudied", "predates",
+                         "mapped"}
+
+
+def taxon_extractor(sentence):
+    """Candidates: capitalized tokens with a Linnaean-sounding suffix."""
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        if token[:1].isupper() and any(
+                token.lower().endswith(suffix) for suffix in GENUS_SUFFIXES):
+            mention = f"{sentence.key}:t{position}"
+            rows.append((sentence.key, mention, token, position))
+    return rows
+
+
+def formation_extractor(sentence):
+    """Candidates: capitalized tokens immediately before 'Formation'."""
+    rows = []
+    tokens = sentence.tokens
+    for position in range(len(tokens) - 1):
+        if tokens[position + 1] == "Formation" and tokens[position][:1].isupper():
+            mention = f"{sentence.key}:f{position}"
+            rows.append((sentence.key, mention, tokens[position], position))
+    return rows
+
+
+def build(corpus: GeneratedCorpus, seed: int = 0) -> DeepDive:
+    """Wire the paleontology application for a generated corpus."""
+    app = DeepDive(PROGRAM, seed=seed)
+    app.register_udf("tf_features",
+                     lambda p1, p2, content: pair_features(p1, p2, content))
+    app.register_udf(
+        "nonoccurrence_context",
+        lambda content: contains_any(content, NONOCCURRENCE_MARKERS),
+        returns="bool")
+
+    app.add_extractor("TaxonMention", taxon_extractor, name="taxa")
+    app.add_extractor("FormationMention", formation_extractor, name="formations")
+    app.add_extractor("PaleoSentence", lambda s: [(s.key, s.text)],
+                      name="sentence_content")
+    app.load_documents(corpus.documents)
+
+    app.add_rows("TaxonOf", [(m, t) for (_, m, t, _)
+                             in app.db["TaxonMention"].distinct_rows()])
+    app.add_rows("FormationOf", [(m, f) for (_, m, f, _)
+                                 in app.db["FormationMention"].distinct_rows()])
+    app.add_rows("Pbdb", corpus.kb["Pbdb"])
+    return app
+
+
+def entity_predictions(app: DeepDive, result: RunResult) -> set[tuple]:
+    taxon_of = dict(app.db["TaxonOf"].distinct_rows())
+    formation_of = dict(app.db["FormationOf"].distinct_rows())
+    return {(taxon_of[m1], formation_of[m2])
+            for (m1, m2) in result.output_tuples("OccursMention")}
+
+
+def evaluate(app: DeepDive, result: RunResult,
+             corpus: GeneratedCorpus) -> PrecisionRecall:
+    return precision_recall(entity_predictions(app, result),
+                            corpus.truth["occurrence"])

@@ -1,0 +1,105 @@
+"""The pharmacogenomics application (paper Section 6.2).
+
+Aspirational schema: ``Interacts(drug, gene)``, supervised by an incomplete
+PharmGKB-style KB plus a study-context negative heuristic.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.apps.common import contains_any, pair_features
+from repro.core.app import DeepDive
+from repro.core.result import RunResult
+from repro.corpus.base import GeneratedCorpus
+from repro.corpus.pharma import DRUG_SUFFIXES
+from repro.eval.metrics import PrecisionRecall, precision_recall
+
+PROGRAM = """
+PharmaSentence(s text, content text).
+DrugMention(s text, m text, drug text, position int).
+TargetMention(s text, m text, gene text, position int).
+DrugGeneCandidate(m1 text, m2 text).
+DGPair(s text, m1 text, m2 text, p1 int, p2 int).
+InteractsMention?(m1 text, m2 text).
+DrugOf(m text, d text).
+GeneOf(m text, g text).
+PharmGkb(d text, g text).
+
+DrugGeneCandidate(m1, m2) :-
+    DrugMention(s, m1, d, p1), TargetMention(s, m2, g, p2).
+
+DGPair(s, m1, m2, p1, p2) :-
+    DrugMention(s, m1, d, p1), TargetMention(s, m2, g, p2).
+
+InteractsMention(m1, m2) :-
+    DGPair(s, m1, m2, p1, p2), PharmaSentence(s, content)
+    weight = dg_features(p1, p2, content).
+
+InteractsMention_Ev(m1, m2, true) :-
+    DrugGeneCandidate(m1, m2), DrugOf(m1, d), GeneOf(m2, g), PharmGkb(d, g).
+
+InteractsMention_Ev(m1, m2, false) :-
+    DGPair(s, m1, m2, p1, p2), PharmaSentence(s, content),
+    [study_context(content)].
+"""
+
+GENE_PATTERN = re.compile(r"^[A-Z]{3,4}\d$")
+STUDY_MARKERS = {"administered", "genotyped", "trial", "profiled", "cohort",
+                 "dosing", "collected"}
+
+
+def drug_extractor(sentence):
+    """Candidates: lowercase tokens with a pharmaceutical suffix."""
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        lower = token.lower()
+        if any(lower.endswith(suffix) for suffix in DRUG_SUFFIXES) and len(lower) > 5:
+            mention = f"{sentence.key}:d{position}"
+            rows.append((sentence.key, mention, lower, position))
+    return rows
+
+
+def gene_extractor(sentence):
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        if GENE_PATTERN.match(token):
+            mention = f"{sentence.key}:g{position}"
+            rows.append((sentence.key, mention, token, position))
+    return rows
+
+
+def build(corpus: GeneratedCorpus, seed: int = 0) -> DeepDive:
+    """Wire the pharmacogenomics application for a generated corpus."""
+    app = DeepDive(PROGRAM, seed=seed)
+    app.register_udf("dg_features",
+                     lambda p1, p2, content: pair_features(p1, p2, content))
+    app.register_udf("study_context",
+                     lambda content: contains_any(content, STUDY_MARKERS),
+                     returns="bool")
+
+    app.add_extractor("DrugMention", drug_extractor, name="drugs")
+    app.add_extractor("TargetMention", gene_extractor, name="genes")
+    app.add_extractor("PharmaSentence", lambda s: [(s.key, s.text)],
+                      name="sentence_content")
+    app.load_documents(corpus.documents)
+
+    app.add_rows("DrugOf", [(m, d) for (_, m, d, _)
+                            in app.db["DrugMention"].distinct_rows()])
+    app.add_rows("GeneOf", [(m, g) for (_, m, g, _)
+                            in app.db["TargetMention"].distinct_rows()])
+    app.add_rows("PharmGkb", corpus.kb["PharmGkb"])
+    return app
+
+
+def entity_predictions(app: DeepDive, result: RunResult) -> set[tuple]:
+    drug_of = dict(app.db["DrugOf"].distinct_rows())
+    gene_of = dict(app.db["GeneOf"].distinct_rows())
+    return {(drug_of[m1], gene_of[m2])
+            for (m1, m2) in result.output_tuples("InteractsMention")}
+
+
+def evaluate(app: DeepDive, result: RunResult,
+             corpus: GeneratedCorpus) -> PrecisionRecall:
+    return precision_recall(entity_predictions(app, result),
+                            corpus.truth["drug_gene"])

@@ -1,0 +1,220 @@
+"""The spouse application: the paper's running example (Figure 3), end to end.
+
+Extracts ``HasSpouse(person1, person2)`` from newswire-style text.  Candidate
+generation finds person-mention pairs in a sentence; features are the
+inter-mention phrase plus window features; distant supervision comes from an
+incomplete marriage KB (positives) and largely-disjoint relations -- siblings
+and professional acquaintances (negatives).
+"""
+
+from __future__ import annotations
+
+from repro.core.app import DeepDive
+from repro.core.result import RunResult
+from repro.corpus.base import GeneratedCorpus
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.nlp.tokenize import token_texts
+
+PROGRAM = """
+SpouseSentence(s text, content text).
+PersonCandidate(s text, m text, token text, position int).
+MarriedCandidate(m1 text, m2 text).
+SpousePair(s text, m1 text, m2 text, p1 int, p2 int).
+MarriedMentions?(m1 text, m2 text).
+EL(m text, e text).
+Married(e1 text, e2 text).
+Sibling(e1 text, e2 text).
+Acquainted(e1 text, e2 text).
+
+MarriedCandidate(m1, m2) :-
+    PersonCandidate(s, m1, t1, p1), PersonCandidate(s, m2, t2, p2), [p1 < p2].
+
+SpousePair(s, m1, m2, p1, p2) :-
+    PersonCandidate(s, m1, t1, p1), PersonCandidate(s, m2, t2, p2), [p1 < p2].
+
+MarriedMentions(m1, m2) :-
+    SpousePair(s, m1, m2, p1, p2), SpouseSentence(s, content)
+    weight = spouse_features(p1, p2, content).
+
+MarriedMentions_Ev(m1, m2, true) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+
+MarriedMentions_Ev(m1, m2, false) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Sibling(e1, e2).
+
+MarriedMentions_Ev(m1, m2, false) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Acquainted(e1, e2).
+"""
+
+# Joint-inference extension: an entity-level relation aggregated from
+# mention-level extractions via IMPLY factors.  "In addition to specifying
+# sets of classifiers, DeepDive inherits Markov Logic's ability to specify
+# rich correlations between entities via weighted rules" (Section 3.1).
+JOINT_RULES = """
+MarriedEntities?(e1 text, e2 text).
+
+MarriedMentions(m1, m2) => MarriedEntities(e1, e2) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), [e1 < e2]
+    weight = 4.0.
+
+MarriedEntities(e1, e2) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), [e1 < e2]
+    weight = entity_prior(e1, e2).
+
+MarriedEntities_Ev(e1, e2, true) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2),
+    [e1 < e2].
+
+MarriedEntities_Ev(e1, e2, false) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Sibling(e1, e2),
+    [e1 < e2].
+
+MarriedEntities_Ev(e1, e2, false) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Acquainted(e1, e2),
+    [e1 < e2].
+"""
+
+PROGRAM_JOINT = PROGRAM + JOINT_RULES
+
+
+def spouse_features(p1: int, p2: int, content: str) -> list[str]:
+    """Human-understandable features for a mention pair (Section 2.5).
+
+    The inter-mention phrase (the paper's ``phrase`` UDF), one-token windows,
+    and a bucketed token distance.
+    """
+    tokens = [t.lower() for t in token_texts(content)]
+    features = []
+    between = tokens[p1 + 1:p2]
+    if len(between) <= 8:
+        features.append("between:" + " ".join(between))
+    if p1 > 0:
+        features.append("left:" + tokens[p1 - 1])
+    if p2 + 1 < len(tokens):
+        features.append("right:" + tokens[p2 + 1])
+    distance = p2 - p1
+    features.append(f"dist:{min(distance, 10)}")
+    return features
+
+
+def person_extractor_factory(known_names: set[str]):
+    """High-recall person-candidate extractor.
+
+    Emits every capitalized non-sentence-initial token plus every token whose
+    lowercase form is a known name (the dictionary boost real systems get
+    from gazetteers).  Low precision by design (Section 3).
+    """
+    def extract(sentence):
+        rows = []
+        for position, token in enumerate(sentence.tokens):
+            tag = sentence.pos_tags[position]
+            looks_like_name = tag == "NNP" or token.lower() in known_names
+            if looks_like_name and token[:1].isupper():
+                mention_id = f"{sentence.key}:{position}"
+                rows.append((sentence.key, mention_id, token.lower(), position))
+        return rows
+    return extract
+
+
+def build(corpus: GeneratedCorpus, seed: int = 0, joint: bool = False) -> DeepDive:
+    """Wire the spouse application for a generated corpus.
+
+    ``joint=True`` adds the entity-level aggregation rules (an IMPLY factor
+    from each mention-pair variable into an entity-pair variable, plus a
+    weak learned entity prior), demonstrating Markov-logic-style correlation
+    rules on top of the classifiers.
+    """
+    app = DeepDive(PROGRAM_JOINT if joint else PROGRAM, seed=seed)
+    app.register_udf("spouse_features", spouse_features, returns="text")
+    if joint:
+        # one learned prior weight shared by every entity pair
+        app.register_udf("entity_prior", lambda e1, e2: "prior")
+
+    known_names = {name.lower() for name, _ in corpus.kb["NameEL"]}
+    app.add_extractor("PersonCandidate", person_extractor_factory(known_names),
+                      name="person_candidates")
+    app.add_extractor("SpouseSentence", lambda s: [(s.key, s.text)],
+                      name="sentence_content")
+
+    app.load_documents(corpus.documents)
+
+    # Entity linking through the alias-table linker; names are ambiguous on
+    # purpose (shared first names), so a mention can link to several entities.
+    from repro.el import AliasTable, EntityLinker, link_mentions
+    aliases = AliasTable()
+    aliases.add_many((entity, name) for name, entity in corpus.kb["NameEL"])
+    linker = EntityLinker(aliases)
+    mentions = [(mention_id, token) for (_, mention_id, token, _)
+                in app.db["PersonCandidate"].distinct_rows()]
+    app.add_rows("EL", link_mentions(mentions, linker, min_score=0.85))
+
+    app.add_rows("Married", corpus.kb["Married"])
+    app.add_rows("Sibling", corpus.kb["Sibling"])
+    # Acquaintance KB: a sample of professionally-linked (non-married) pairs,
+    # the negative-supervision analogue of the paper's sibling trick.
+    acquainted = []
+    for a, b in corpus.metadata["distractors"][::2]:
+        acquainted += [(a, b), (b, a)]
+    app.add_rows("Acquainted", acquainted)
+    return app
+
+
+def gold_mention_pairs(app: DeepDive, corpus: GeneratedCorpus) -> set[tuple]:
+    """Mention-level gold: candidate pairs in marriage documents that name
+    the document's couple."""
+    name_of = corpus.metadata["name_of"]
+    couples = corpus.metadata["couples"]
+    couple_names = [{name_of[a].lower(), name_of[b].lower()} for a, b in couples]
+
+    token_of = {}
+    doc_of = {}
+    for (s, mention_id, token, _) in app.db["PersonCandidate"].distinct_rows():
+        token_of[mention_id] = token
+        doc_of[mention_id] = s.split(":")[0]
+
+    gold = set()
+    for (m1, m2) in app.db["MarriedCandidate"].distinct_rows():
+        doc = doc_of.get(m1, "")
+        if not doc.startswith("m"):
+            continue
+        index = int(doc[1:].split("_")[0])
+        if {token_of[m1], token_of[m2]} == couple_names[index]:
+            gold.add((m1, m2))
+    return gold
+
+
+def evaluate(app: DeepDive, result: RunResult,
+             corpus: GeneratedCorpus) -> PrecisionRecall:
+    """Mention-level precision/recall of one run."""
+    return precision_recall(result.output_tuples("MarriedMentions"),
+                            gold_mention_pairs(app, corpus))
+
+
+def evaluate_entities(app: DeepDive, result: RunResult,
+                      corpus: GeneratedCorpus,
+                      from_mentions: bool = False,
+                      threshold: float | None = None) -> PrecisionRecall:
+    """Entity-level quality.
+
+    ``from_mentions=True`` scores the no-joint baseline: an entity pair is
+    accepted iff any of its mention pairs clears the threshold.  Otherwise
+    the ``MarriedEntities`` variables (populated by the joint rules) are
+    scored directly.
+    """
+    gold = {tuple(sorted(pair)) for pair in corpus.truth["married_entities"]}
+    threshold = result.threshold if threshold is None else threshold
+    if from_mentions:
+        el = {}
+        for mention, entity in app.db["EL"].distinct_rows():
+            el.setdefault(mention, []).append(entity)
+        accepted = set()
+        for (m1, m2), p in result.relation_marginals("MarriedMentions").items():
+            if p >= threshold:
+                for e1 in el.get(m1, ()):
+                    for e2 in el.get(m2, ()):
+                        accepted.add(tuple(sorted((e1, e2))))
+        return precision_recall(accepted, gold)
+    accepted = {tuple(sorted(pair))
+                for pair, p in result.relation_marginals("MarriedEntities").items()
+                if p >= threshold}
+    return precision_recall(accepted, gold)

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against or argues against:
+
+* deterministic regex extraction (Section 5.3's dead end),
+* the siloed extract-then-integrate pipeline (Section 2.4),
+* a GraphLab-style vertex-programming Gibbs engine (Section 4.2),
+* an independent logistic classifier (joint-inference ablation).
+"""
+
+from repro.baselines.graphlab_style import VertexProgrammingGibbs
+from repro.baselines.logistic import (LogisticModel, classify_candidates,
+                                      train_logistic)
+from repro.baselines.regex_extractor import (SPOUSE_REGEX_RULES, RegexRule,
+                                             RuleBasedExtractor)
+from repro.baselines.siloed import (SiloedPipeline, SiloedResult,
+                                    extraction_precision, surface_extract)
+
+__all__ = [
+    "LogisticModel",
+    "RegexRule",
+    "RuleBasedExtractor",
+    "SPOUSE_REGEX_RULES",
+    "SiloedPipeline",
+    "SiloedResult",
+    "VertexProgrammingGibbs",
+    "classify_candidates",
+    "extraction_precision",
+    "surface_extract",
+    "train_logistic",
+]

@@ -1,0 +1,70 @@
+"""An independent logistic-regression extractor (joint-inference ablation).
+
+DeepDive's feature rules alone are equivalent to per-candidate logistic
+classifiers; the system's extra power comes from joint inference rules and
+unified supervision.  This baseline strips everything but the classifier:
+per-candidate bag-of-features logistic regression trained directly on
+distant-supervision labels, no factor graph, no correlation rules, no
+marginal calibration.  Benchmarks use it to quantify what the graphical
+layer adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass
+class LogisticModel:
+    """A trained bag-of-features logistic model."""
+
+    feature_index: dict[str, int]
+    weights: np.ndarray
+    bias: float
+
+    def probability(self, features: Iterable[str]) -> float:
+        score = self.bias
+        for feature in features:
+            index = self.feature_index.get(feature)
+            if index is not None:
+                score += self.weights[index]
+        return float(1.0 / (1.0 + np.exp(-np.clip(score, -500, 500))))
+
+
+def train_logistic(examples: Sequence[tuple[Sequence[str], bool]],
+                   epochs: int = 100, step_size: float = 0.1,
+                   l2: float = 0.01, seed: int = 0) -> LogisticModel:
+    """Train on (feature list, label) pairs with SGD + L2."""
+    feature_index: dict[str, int] = {}
+    for features, _ in examples:
+        for feature in features:
+            feature_index.setdefault(feature, len(feature_index))
+    weights = np.zeros(len(feature_index))
+    bias = 0.0
+    rng = np.random.default_rng(seed)
+    order = np.arange(len(examples))
+    step = step_size
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for i in order:
+            features, label = examples[i]
+            indices = [feature_index[f] for f in features]
+            score = bias + weights[indices].sum() if indices else bias
+            probability = 1.0 / (1.0 + np.exp(-np.clip(score, -500, 500)))
+            gradient = float(label) - probability
+            for index in indices:
+                weights[index] += step * (gradient - l2 * weights[index])
+            bias += step * gradient
+        step *= 0.97
+    return LogisticModel(feature_index, weights, bias)
+
+
+def classify_candidates(model: LogisticModel,
+                        candidates: Mapping[Hashable, Sequence[str]],
+                        threshold: float = 0.5) -> set[Hashable]:
+    """Candidates whose predicted probability clears ``threshold``."""
+    return {key for key, features in candidates.items()
+            if model.probability(features) >= threshold}

@@ -1,0 +1,333 @@
+"""The DeepDive application object: the paper's Figure 1 loop as an API.
+
+A :class:`DeepDive` instance owns a DDlog program, a datastore, candidate
+extractors, and (once grounded) a factor graph.  The three execution phases
+of Section 3 map to:
+
+1. *candidate generation & feature extraction* -- :meth:`load_documents`
+   (NLP + extractor UDFs) and the feature rules run during grounding;
+2. *supervision* -- the ``_Ev`` rules run during grounding;
+3. *learning & inference* -- :meth:`run`.
+
+The first grounding is a full load; afterwards every data change flows
+through DRed incremental grounding, per Section 4.1.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.extractors import (CandidateExtractor, DocumentExtractor,
+                                   DocumentExtractorFn, ExtractorFn,
+                                   run_document_extractors, run_extractors)
+from repro.core.result import RunResult, VariableKey
+from repro.datastore import Database
+from repro.ddlog.program import DDlogProgram
+from repro.eval.error_analysis import (ErrorAnalysisReport, FeatureStat,
+                                       build_report, diagnose_miss)
+from repro.factorgraph import CompiledGraph, FactorFunction
+from repro.grounding import Grounder, GroundingDelta
+from repro.inference import GibbsSampler, LearningOptions, learn_weights
+from repro.nlp.pipeline import Document, preprocess_document, sentence_row
+
+
+class DeepDive:
+    """A DeepDive application over one aspirational schema."""
+
+    def __init__(self, program: DDlogProgram | str, seed: int = 0) -> None:
+        self.program = (DDlogProgram.parse(program)
+                        if isinstance(program, str) else program)
+        self.db = Database()
+        self.seed = seed
+        self._extractors: list[CandidateExtractor] = []
+        self._document_extractors: list[DocumentExtractor] = []
+        self._grounder: Grounder | None = None
+        self._timings: dict[str, float] = {}
+        # incremental-inference state: last run's chain + pending deltas
+        self._chain_state: dict | None = None
+        self._pending_touched: set = set()
+        self._ensure_corpus_relations()
+
+    def _ensure_corpus_relations(self) -> None:
+        from repro.nlp.pipeline import DOCUMENT_SCHEMA, SENTENCE_SCHEMA
+        if "documents" not in self.db:
+            self.db.create("documents", DOCUMENT_SCHEMA)
+        if "sentences" not in self.db:
+            self.db.create("sentences", SENTENCE_SCHEMA)
+        self.program.create_relations(self.db)
+
+    # ------------------------------------------------------------ registration
+    def udf(self, name: str, returns: str = "text"):
+        """Register a DDlog UDF (decorator), forwarding to the program."""
+        return self.program.udf(name, returns)
+
+    def register_udf(self, name: str, fn: Callable, returns: str = "text") -> None:
+        self.program.register_udf(name, fn, returns)
+
+    def add_extractor(self, relation: str, fn: ExtractorFn, name: str = "") -> None:
+        """Register a candidate-generation UDF feeding ``relation``."""
+        self._extractors.append(CandidateExtractor(relation, fn, name or fn.__name__))
+
+    def add_document_extractor(self, fn: DocumentExtractorFn,
+                               name: str = "") -> None:
+        """Register a whole-document extractor (tables, metadata, ...).
+
+        The UDF receives the raw :class:`~repro.nlp.pipeline.Document` and
+        returns ``{relation: [rows...]}``.
+        """
+        self._document_extractors.append(
+            DocumentExtractor(fn, name or fn.__name__))
+
+    # ------------------------------------------------------------------- data
+    def load_documents(self, documents: Iterable[Document]) -> int:
+        """Preprocess documents and run candidate generation over them.
+
+        Before the first :meth:`run` this stages plain inserts (initial
+        load); afterwards changes propagate through incremental grounding.
+        Returns the number of sentences loaded.
+        """
+        start = time.perf_counter()
+        documents = list(documents)
+        sentences = []
+        for doc in documents:
+            sentences.extend(preprocess_document(doc))
+        candidate_rows = run_extractors(self._extractors, sentences)
+        inserts: dict[str, list] = {
+            "documents": [(d.doc_id, d.content) for d in documents],
+            "sentences": [sentence_row(s) for s in sentences],
+        }
+        for relation, rows in candidate_rows.items():
+            inserts.setdefault(relation, []).extend(rows)
+        for relation, rows in run_document_extractors(
+                self._document_extractors, documents).items():
+            inserts.setdefault(relation, []).extend(rows)
+        self._apply(inserts=inserts)
+        self._timings["candidate_generation"] = (
+            self._timings.get("candidate_generation", 0.0)
+            + time.perf_counter() - start)
+        return len(sentences)
+
+    def add_rows(self, relation: str, rows: Iterable[Sequence]) -> None:
+        """Add rows to a base relation (e.g. a distant-supervision KB)."""
+        self._apply(inserts={relation: [tuple(r) for r in rows]})
+
+    def remove_rows(self, relation: str, rows: Iterable[Sequence]) -> None:
+        """Delete rows from a base relation (propagates incrementally)."""
+        self._apply(deletes={relation: [tuple(r) for r in rows]})
+
+    def _apply(self, inserts: dict[str, list] | None = None,
+               deletes: dict[str, list] | None = None) -> GroundingDelta | None:
+        inserts = {k: v for k, v in (inserts or {}).items() if v}
+        deletes = {k: v for k, v in (deletes or {}).items() if v}
+        if self._grounder is None:
+            if deletes:
+                raise ValueError("cannot delete rows before the initial grounding")
+            for relation, rows in inserts.items():
+                self.db.insert(relation, rows)
+            return None
+        delta = self._grounder.apply_changes(inserts=inserts, deletes=deletes)
+        self._pending_touched |= delta.touched_keys
+        return delta
+
+    # -------------------------------------------------------------- grounding
+    @property
+    def grounder(self) -> Grounder:
+        """The (lazily created) incremental grounder."""
+        if self._grounder is None:
+            start = time.perf_counter()
+            self._grounder = Grounder(self.program, self.db)
+            self._timings["grounding"] = time.perf_counter() - start
+        return self._grounder
+
+    @property
+    def graph(self):
+        return self.grounder.graph
+
+    # -------------------------------------------------------------------- run
+    def run(self, threshold: float = 0.9,
+            holdout_fraction: float = 0.25,
+            learning: LearningOptions | None = None,
+            num_samples: int = 300, burn_in: int = 50,
+            compute_train_histogram: bool = True) -> RunResult:
+        """Execute supervision + learning + inference and return the result.
+
+        ``holdout_fraction`` of the evidence variables is hidden from the
+        learner and used for the Figure-5 calibration artifacts.
+        """
+        graph = self.grounder.graph
+        compiled = CompiledGraph(graph)
+        rng = np.random.default_rng(self.seed)
+
+        evidence_indices = np.nonzero(compiled.is_evidence)[0]
+        holdout_count = int(len(evidence_indices) * holdout_fraction)
+        holdout = rng.choice(evidence_indices, size=holdout_count, replace=False) \
+            if holdout_count else np.array([], dtype=np.int64)
+        holdout_labels = compiled.evidence_values[holdout].copy()
+        compiled.is_evidence[holdout] = False
+
+        start = time.perf_counter()
+        options = learning or LearningOptions(seed=self.seed)
+        diagnostics = learn_weights(compiled, options)
+        self._timings["learning"] = time.perf_counter() - start
+        compiled.export_weights(graph)
+
+        start = time.perf_counter()
+        sampler = GibbsSampler(compiled, seed=self.seed, clamp_evidence=True)
+        world = sampler.initial_assignment()
+        result = sampler.marginals(num_samples=num_samples, burn_in=burn_in,
+                                   assignment=world)
+        self._timings["inference"] = time.perf_counter() - start
+        self._chain_state = {
+            "world": {key: bool(world[i])
+                      for i, key in enumerate(compiled.var_keys)},
+            "marginals": {key: float(result.marginals[i])
+                          for i, key in enumerate(compiled.var_keys)},
+        }
+        self._pending_touched.clear()
+
+        marginals: dict[VariableKey, float] = {}
+        for index, key in enumerate(compiled.var_keys):
+            marginals[key] = float(result.marginals[index])
+
+        holdout_pairs = [(float(result.marginals[i]), bool(label))
+                         for i, label in zip(holdout, holdout_labels)]
+
+        train_pairs: list[tuple[float, bool]] = []
+        if compute_train_histogram and compiled.is_evidence.any():
+            free = GibbsSampler(compiled, seed=self.seed + 1, clamp_evidence=False)
+            free_result = free.marginals(num_samples=max(50, num_samples // 3),
+                                         burn_in=burn_in)
+            for i in np.nonzero(compiled.is_evidence)[0]:
+                train_pairs.append((float(free_result.marginals[i]),
+                                    bool(compiled.evidence_values[i])))
+
+        return RunResult(
+            marginals=marginals,
+            threshold=threshold,
+            phase_timings=dict(self._timings),
+            holdout_pairs=holdout_pairs,
+            train_pairs=train_pairs,
+            graph_stats=graph.stats(),
+            feature_stats=self.feature_stats(),
+            learning=diagnostics,
+        )
+
+    def run_incremental(self, threshold: float = 0.9, radius: int = 1,
+                        num_samples: int = 60, burn_in: int = 15) -> RunResult:
+        """Refresh marginals after data changes, without re-learning.
+
+        Implements Section 4.2's sampling-based incremental inference: the
+        previous run's Gibbs chain is materialized per variable key; only
+        variables within ``radius`` factor-hops of the grounding deltas
+        accumulated since the last run are resampled.  Falls back to a full
+        :meth:`run` when no chain state exists yet.
+        """
+        if self._chain_state is None:
+            return self.run(threshold=threshold, num_samples=num_samples * 4,
+                            burn_in=burn_in * 3)
+        from repro.grounding import SamplingMaterialization
+
+        graph = self.grounder.graph
+        compiled = CompiledGraph(graph)
+        stored_world = self._chain_state["world"]
+        stored_marginals = self._chain_state["marginals"]
+
+        rng = np.random.default_rng(self.seed + 7)
+        world = rng.random(compiled.num_variables) < 0.5
+        marginals = np.full(compiled.num_variables, 0.5)
+        changed: set[int] = set()
+        for index, key in enumerate(compiled.var_keys):
+            if key in stored_world:
+                world[index] = stored_world[key]
+                marginals[index] = stored_marginals[key]
+            else:
+                changed.add(index)          # brand-new variable
+            if key in self._pending_touched:
+                changed.add(index)
+
+        start = time.perf_counter()
+        strategy = SamplingMaterialization.from_state(
+            compiled, world, marginals, seed=self.seed + 7)
+        if changed:
+            update = strategy.update(changed, radius=radius,
+                                     num_samples=num_samples, burn_in=burn_in)
+            marginals = update.marginals
+        else:
+            clamped = compiled.is_evidence
+            marginals[clamped] = compiled.evidence_values[clamped]
+        self._timings["incremental_inference"] = time.perf_counter() - start
+
+        self._chain_state = {
+            "world": {key: bool(strategy.world[i])
+                      for i, key in enumerate(compiled.var_keys)},
+            "marginals": {key: float(marginals[i])
+                          for i, key in enumerate(compiled.var_keys)},
+        }
+        self._pending_touched.clear()
+        return RunResult(
+            marginals={key: float(marginals[i])
+                       for i, key in enumerate(compiled.var_keys)},
+            threshold=threshold,
+            phase_timings=dict(self._timings),
+            graph_stats=graph.stats(),
+            feature_stats=self.feature_stats(),
+        )
+
+    # -------------------------------------------------------------- debugging
+    def feature_stats(self) -> list[FeatureStat]:
+        """Weight/observation table for the error-analysis document."""
+        graph = self.grounder.graph
+        stats = []
+        for weight in graph.weights.values():
+            provenance = self.grounder.weight_provenance.get(weight.key)
+            stats.append(FeatureStat(
+                key=str(weight.key),
+                weight=weight.value,
+                observations=weight.observations,
+                description=provenance.rule_text if provenance else "",
+            ))
+        return stats
+
+    def feature_count(self, key: VariableKey) -> int:
+        """Number of IS_TRUE (feature) factors attached to a variable."""
+        graph = self.grounder.graph
+        if not graph.has_variable(key):
+            return 0
+        variable = graph.variables[graph.variable_id(key)]
+        return sum(1 for fid in variable.factor_ids
+                   if graph.factors[fid].function == FactorFunction.IS_TRUE)
+
+    def error_analysis(self, result: RunResult, relation: str,
+                       truth: Iterable[tuple],
+                       bucket_failure: Callable[[Hashable], str] | None = None,
+                       sample_size: int = 100) -> ErrorAnalysisReport:
+        """Build the Section-5.2 error-analysis document for one relation.
+
+        ``truth`` is the gold tuple set (an oracle in benchmarks, a human
+        sample in production).  The default failure bucketer applies the
+        paper's three-way root-cause procedure.
+        """
+        truth_set = {tuple(t) for t in truth}
+        extractions = result.output_tuples(relation)
+        candidate_keys = {values for (name, values) in result.marginals
+                          if name == relation}
+
+        def default_bucketer(item: Hashable) -> str:
+            return diagnose_miss(
+                item, candidate_keys,
+                lambda values: self.feature_count((relation, values)))
+
+        return build_report(
+            extractions=extractions,
+            truth=truth_set,
+            mark_extraction=lambda item: item in truth_set,
+            bucket_failure=bucket_failure or default_bucketer,
+            feature_stats=result.feature_stats,
+            db_stats=self.db.stats(),
+            graph_stats=result.graph_stats,
+            sample_size=sample_size,
+            seed=self.seed,
+        )

@@ -1,0 +1,78 @@
+"""Candidate-generation extractors: Python UDFs over preprocessed sentences.
+
+"In candidate generation, DeepDive applies a user-defined function (UDF) to
+each document in the input corpus to yield candidate extractions...  The
+candidate generation step is thus intended to be high-recall, low-precision"
+(Section 3).  An extractor maps one :class:`~repro.nlp.pipeline.Sentence` to
+rows of a declared base relation; the application object runs every
+registered extractor over every new sentence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.nlp.pipeline import Sentence
+
+from repro.nlp.pipeline import Document
+
+ExtractorFn = Callable[[Sentence], Iterable[tuple]]
+DocumentExtractorFn = Callable[[Document], dict[str, list[tuple]]]
+
+
+@dataclass(frozen=True)
+class CandidateExtractor:
+    """One registered extractor: target relation + the sentence UDF."""
+
+    relation: str
+    fn: ExtractorFn
+    name: str = ""
+
+    def rows(self, sentence: Sentence) -> list[tuple]:
+        """Run the UDF, normalizing its output to a list of tuples."""
+        produced = self.fn(sentence)
+        return [tuple(row) for row in produced] if produced else []
+
+
+@dataclass(frozen=True)
+class DocumentExtractor:
+    """A whole-document extractor emitting rows for several relations.
+
+    Used for non-sentence modalities -- HTML tables, document metadata --
+    where the unit of extraction is not a sentence.  The UDF returns
+    ``{relation: [rows...]}``.
+    """
+
+    fn: DocumentExtractorFn
+    name: str = ""
+
+    def rows(self, doc: Document) -> dict[str, list[tuple]]:
+        produced = self.fn(doc) or {}
+        return {relation: [tuple(r) for r in rows]
+                for relation, rows in produced.items() if rows}
+
+
+def run_extractors(extractors: Iterable[CandidateExtractor],
+                   sentences: Iterable[Sentence]) -> dict[str, list[tuple]]:
+    """Apply every extractor to every sentence; rows grouped by relation."""
+    rows: dict[str, list[tuple]] = {}
+    sentence_list = list(sentences)
+    for extractor in extractors:
+        bucket = rows.setdefault(extractor.relation, [])
+        for sentence in sentence_list:
+            bucket.extend(extractor.rows(sentence))
+    return {relation: rows_ for relation, rows_ in rows.items() if rows_}
+
+
+def run_document_extractors(extractors: Iterable[DocumentExtractor],
+                            documents: Iterable[Document],
+                            ) -> dict[str, list[tuple]]:
+    """Apply every document extractor to every document."""
+    rows: dict[str, list[tuple]] = {}
+    document_list = list(documents)
+    for extractor in extractors:
+        for doc in document_list:
+            for relation, produced in extractor.rows(doc).items():
+                rows.setdefault(relation, []).extend(produced)
+    return rows

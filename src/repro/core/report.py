@@ -1,0 +1,89 @@
+"""Full run reports: the execution history "in an easy-to-consume form".
+
+Section 2.5 requires that DeepDive "retains a statistical 'execution
+history' and can present it to the user in an easy-to-consume form"; this
+module assembles one self-contained plain-text report per run -- summary,
+phase timings, Figure-5 artifacts, top features with observation counts,
+overlap warnings, and (when a previous run is supplied) the run-over-run
+diff -- suitable for archiving next to the code version that produced it.
+"""
+
+from __future__ import annotations
+
+from repro.core.history import RunHistory
+from repro.core.result import RunResult
+
+
+def run_report(app, result: RunResult, relation: str | None = None,
+               history: RunHistory | None = None, top_features: int = 15) -> str:
+    """Render a complete report for ``result`` produced by ``app``.
+
+    ``relation``: restrict the output-database section to one variable
+    relation (default: all).  ``history``: include the diff against the
+    previous recorded run, and record this one.
+    """
+    lines: list[str] = []
+    rule = "=" * 70
+    lines += [rule, "DEEPDIVE RUN REPORT", rule, ""]
+    lines.append(result.summary())
+    lines.append("")
+
+    lines.append("-- factor graph " + "-" * 50)
+    for key, value in result.graph_stats.items():
+        lines.append(f"  {key:12s} {value}")
+    lines.append("")
+
+    lines.append("-- output database " + "-" * 47)
+    output = result.output
+    names = [relation] if relation else sorted(output)
+    for name in names:
+        accepted = output.get(name, {})
+        lines.append(f"  {name}: {len(accepted)} tuples at "
+                     f"p>={result.threshold}")
+        for values, probability in sorted(accepted.items(),
+                                          key=lambda kv: -kv[1])[:10]:
+            lines.append(f"    {probability:.3f}  {values}")
+        if len(accepted) > 10:
+            lines.append(f"    ... ({len(accepted) - 10} more)")
+    lines.append("")
+
+    if result.holdout_pairs:
+        lines.append("-- calibration (Figure 5) " + "-" * 40)
+        lines.append(result.calibration().ascii())
+        lines.append("")
+        lines.append(result.test_histogram().ascii())
+        lines.append("")
+
+    lines.append("-- top features by |weight| " + "-" * 38)
+    ranked = sorted(result.feature_stats, key=lambda s: -abs(s.weight))
+    for stat in ranked[:top_features]:
+        flag = "  ** undertrained" if stat.undertrained else ""
+        lines.append(f"  {stat.weight:+7.3f}  n={stat.observations:<6d} "
+                     f"{stat.key}{flag}")
+    lines.append("")
+
+    from repro.supervision import detect_supervision_overlap
+    warnings = detect_supervision_overlap(app.graph)
+    lines.append("-- supervision overlap check (Sec. 8) " + "-" * 28)
+    if warnings:
+        for warning in warnings:
+            lines.append(f"  WARNING: {warning.describe()}")
+    else:
+        lines.append("  clean: no feature duplicates a supervision rule")
+    lines.append("")
+
+    if history is not None:
+        if len(history):
+            lines.append("-- change since previous run " + "-" * 37)
+            history.record(result)
+            lines.append(history.diff().render())
+        else:
+            history.record(result)
+            lines.append("-- first recorded run (no diff) " + "-" * 34)
+        lines.append("")
+        lines.append("-- run history " + "-" * 51)
+        lines.append(history.render())
+        lines.append("")
+
+    lines.append(rule)
+    return "\n".join(lines)

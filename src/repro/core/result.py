@@ -1,0 +1,75 @@
+"""Run results: marginals, the thresholded output database, calibration data,
+and phase timings (paper Figure 2's per-phase runtimes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.calibration import (CalibrationPlot, ProbabilityHistogram,
+                                    calibration_plot, probability_histogram)
+from repro.eval.error_analysis import FeatureStat
+from repro.inference.learning import LearningDiagnostics
+
+VariableKey = tuple[str, tuple]
+
+
+@dataclass
+class RunResult:
+    """Everything one DeepDive execution produced.
+
+    ``marginals`` maps ``(relation, tuple)`` to the inferred probability;
+    ``output`` is the thresholded output database ("DeepDive applies a
+    user-chosen threshold, e.g. p > 0.95").
+    """
+
+    marginals: dict[VariableKey, float]
+    threshold: float
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    holdout_pairs: list[tuple[float, bool]] = field(default_factory=list)
+    train_pairs: list[tuple[float, bool]] = field(default_factory=list)
+    graph_stats: dict[str, int] = field(default_factory=dict)
+    feature_stats: list[FeatureStat] = field(default_factory=list)
+    learning: LearningDiagnostics | None = None
+
+    # ------------------------------------------------------------- the output
+    @property
+    def output(self) -> dict[str, dict[tuple, float]]:
+        """Accepted tuples per relation: probability >= threshold."""
+        accepted: dict[str, dict[tuple, float]] = {}
+        for (relation, values), probability in self.marginals.items():
+            if probability >= self.threshold:
+                accepted.setdefault(relation, {})[values] = probability
+        return accepted
+
+    def output_tuples(self, relation: str) -> set[tuple]:
+        """Accepted tuples of one relation (the set benchmarks score)."""
+        return set(self.output.get(relation, {}))
+
+    def relation_marginals(self, relation: str) -> dict[tuple, float]:
+        """All marginals of one relation, thresholded or not."""
+        return {values: p for (name, values), p in self.marginals.items()
+                if name == relation}
+
+    # ------------------------------------------------------------ calibration
+    def calibration(self) -> CalibrationPlot:
+        """Figure 5 (left): calibration over the held-out evidence."""
+        probabilities = [p for p, _ in self.holdout_pairs]
+        labels = [label for _, label in self.holdout_pairs]
+        return calibration_plot(probabilities, labels)
+
+    def test_histogram(self) -> ProbabilityHistogram:
+        """Figure 5 (center): prediction histogram on the held-out set."""
+        return probability_histogram(p for p, _ in self.holdout_pairs)
+
+    def train_histogram(self) -> ProbabilityHistogram:
+        """Figure 5 (right): prediction histogram on the training set."""
+        return probability_histogram(p for p, _ in self.train_pairs)
+
+    def summary(self) -> str:
+        """One-paragraph run summary for logs."""
+        total = sum(self.phase_timings.values())
+        phases = ", ".join(f"{name}={seconds:.2f}s"
+                           for name, seconds in self.phase_timings.items())
+        accepted = sum(len(v) for v in self.output.values())
+        return (f"{len(self.marginals)} candidates, {accepted} accepted at "
+                f"p>={self.threshold}; phases: {phases} (total {total:.2f}s)")

@@ -1,0 +1,5 @@
+"""Synthetic corpus generators with ground truth, one per application."""
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig
+
+__all__ = ["GeneratedCorpus", "NoiseConfig"]

@@ -1,0 +1,101 @@
+"""The classified-ads corpus: structured attributes from Craigslist-style text.
+
+Models the Section 6.4 dark-data setting structurally -- short, messy
+classified ads with "very little structure, lots of extremely nonstandard
+English" -- on neutral rental-listing content.  The aspirational schema is
+``(ad_id, price)``, ``(ad_id, location)``, ``(ad_id, phone)``; distractor
+numbers (deposits, square footage) and unmarked prices exercise the same
+failure modes the paper describes for real ad corpora.  Forum posts that
+repeat an ad's phone number support the paper's ad<->forum joining analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig
+from repro.nlp.pipeline import Document
+
+CITIES = ["Fairview", "Riverton", "Lakewood", "Brookside", "Hillcrest",
+          "Mapleton", "Ashford", "Greenfield", "Stonebridge", "Westvale"]
+
+AD_TEMPLATES = [
+    "Cozy studio in {city} . Rent ${price} per month . Call {phone} .",
+    "{city} 2br apt , ${price}/mo , deposit ${deposit} . {phone}",
+    "GREAT deal !! {city} room for ${price} monthly , {sqft} sqft . txt {phone}",
+    "Apt available {city} area . asking ${price} . no fees . ph {phone}",
+    "Sublet in {city} -- ${price} . utilities incl . reach me at {phone}",
+]
+
+FORUM_TEMPLATES = [
+    "Viewed the {city} place from {phone} , landlord was friendly .",
+    "Anyone rented via {phone} ? The {city} listing looks odd .",
+    "I called {phone} about the {city} apartment , it was already taken .",
+]
+
+
+@dataclass(frozen=True)
+class AdsConfig:
+    """Size and noise parameters for the ads corpus."""
+
+    num_ads: int = 40
+    forum_posts_per_ad: float = 0.5
+    noise: NoiseConfig = NoiseConfig()
+
+
+def _phone(rng: np.random.Generator) -> str:
+    return f"555-{int(rng.integers(0, 10000)):04d}"
+
+
+def generate(config: AdsConfig = AdsConfig(), seed: int = 0) -> GeneratedCorpus:
+    """Generate ads + forum posts with per-ad ground truth."""
+    rng = np.random.default_rng(seed)
+    documents: list[Document] = []
+    price_truth: set[tuple] = set()
+    location_truth: set[tuple] = set()
+    phone_truth: set[tuple] = set()
+    known_prices: list[tuple] = []
+    known_locations: list[tuple] = []
+    ad_phones: list[tuple[str, str, str]] = []   # (ad_id, phone, city)
+
+    phones_seen: set[str] = set()
+    for i in range(config.num_ads):
+        ad_id = f"ad{i:04d}"
+        city = CITIES[int(rng.integers(0, len(CITIES)))]
+        price = int(rng.integers(4, 40)) * 50
+        deposit = price + int(rng.integers(1, 5)) * 100
+        sqft = int(rng.integers(300, 1500))
+        phone = _phone(rng)
+        while phone in phones_seen:
+            phone = _phone(rng)
+        phones_seen.add(phone)
+        template = AD_TEMPLATES[int(rng.integers(0, len(AD_TEMPLATES)))]
+        text = template.format(city=city, price=price, deposit=deposit,
+                               sqft=sqft, phone=phone)
+        documents.append(Document(ad_id, text))
+        price_truth.add((ad_id, str(price)))
+        location_truth.add((ad_id, city))
+        phone_truth.add((ad_id, phone))
+        ad_phones.append((ad_id, phone, city))
+        # previously hand-annotated ads supervise a subset of the corpus
+        if rng.random() < config.noise.kb_coverage:
+            known_prices.append((ad_id, str(price)))
+        if rng.random() < config.noise.kb_coverage:
+            known_locations.append((ad_id, city))
+
+    num_posts = int(config.num_ads * config.forum_posts_per_ad)
+    for j in range(num_posts):
+        ad_id, phone, city = ad_phones[int(rng.integers(0, len(ad_phones)))]
+        template = FORUM_TEMPLATES[int(rng.integers(0, len(FORUM_TEMPLATES)))]
+        documents.append(Document(f"forum{j:04d}",
+                                  template.format(city=city, phone=phone)))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"ad_price": price_truth, "ad_location": location_truth,
+               "ad_phone": phone_truth},
+        kb={"KnownPrice": known_prices, "KnownLocation": known_locations},
+        metadata={"config": config, "cities": CITIES, "ad_phones": ad_phones},
+    )

@@ -1,0 +1,91 @@
+"""Shared infrastructure for synthetic corpus generators.
+
+The paper's applications run on corpora we cannot ship (TAC-KBP newswire,
+PubMed, paleontology papers, Web classified ads).  Each generator in this
+package produces the closest synthetic equivalent: documents with known
+ground truth, controllable noise, incomplete distant-supervision KBs, and the
+distractor patterns that drive the paper's failure modes (ambiguous phrases,
+lookalike non-relations, OCR-style corruption).
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.nlp.pipeline import Document
+
+
+@dataclass
+class GeneratedCorpus:
+    """A synthetic corpus plus everything needed to evaluate extraction.
+
+    ``truth`` holds gold tuples per aspirational relation (entity level);
+    ``kb`` holds the distant-supervision tables (deliberately incomplete and
+    possibly noisy); ``metadata`` records generation parameters.
+    """
+
+    documents: list[Document]
+    truth: dict[str, set[tuple]]
+    kb: dict[str, list[tuple]] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.documents)
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Corruption knobs shared by the generators.
+
+    * ``typo_rate`` -- per-sentence probability of an OCR-style corruption
+      (dropped character in a content word), producing the candidate-
+      generation failures of Section 5.2;
+    * ``distractor_rate`` -- fraction of extra sentences that mention
+      entities without expressing the target relation;
+    * ``kb_coverage`` -- fraction of true pairs present in the supervision
+      KB (distant supervision is always incomplete);
+    * ``kb_error_rate`` -- fraction of KB entries that are wrong.
+    """
+
+    typo_rate: float = 0.02
+    distractor_rate: float = 0.3
+    kb_coverage: float = 0.5
+    kb_error_rate: float = 0.02
+
+
+def apply_typo(text: str, rng: np.random.Generator) -> str:
+    """Drop one character from a random word of >= 4 letters (OCR-style)."""
+    words = text.split(" ")
+    candidates = [i for i, w in enumerate(words)
+                  if len(w) >= 4 and w.isalpha()]
+    if not candidates:
+        return text
+    index = int(rng.choice(candidates))
+    word = words[index]
+    drop = int(rng.integers(1, len(word) - 1))
+    words[index] = word[:drop] + word[drop + 1:]
+    return " ".join(words)
+
+
+def synthetic_names(count: int, rng: np.random.Generator,
+                    prefix: str = "", length: int = 5) -> list[str]:
+    """Deterministic pool of pronounceable distinct name-like tokens."""
+    vowels = "aeiou"
+    consonants = "".join(c for c in string.ascii_lowercase if c not in vowels)
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        letters = []
+        for i in range(length):
+            pool = consonants if i % 2 == 0 else vowels
+            letters.append(pool[int(rng.integers(0, len(pool)))])
+        name = prefix + "".join(letters).capitalize()
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names

@@ -1,0 +1,92 @@
+"""The books-vs-movies corpus for the integrated-processing argument (E8).
+
+Section 2.4's thought experiment: build a book catalog ``(bookTitle, author,
+price)`` from review pages with a 98%-precision extractor whose residual
+errors are *movies* misparsed as books.  A siloed extract-then-integrate
+pipeline cannot repair those errors; an integrated system simply uses a
+freely available movie dictionary as one more feature/filter.
+
+Review pages name a title, a creator (author or director), and a price.
+Movie reviews use wording close enough to book reviews that a surface
+extractor confuses a controlled fraction of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig, synthetic_names
+from repro.nlp.pipeline import Document
+
+BOOK_TEMPLATES = [
+    "Review of {title} by {creator} . A gripping novel . Price $ {price} .",
+    "{title} by {creator} is this month's book pick . Buy for $ {price} .",
+    "Paperback {title} , written by {creator} , now $ {price} .",
+]
+
+MOVIE_TEMPLATES = [
+    # 'by <director>' phrasing makes these look like book reviews
+    "Review of {title} by {creator} . A stunning film . Tickets $ {price} .",
+    "{title} by {creator} screens this week . Admission $ {price} .",
+]
+
+MOVIE_TEMPLATES_CLEAR = [
+    "The movie {title} , directed by {creator} , opens Friday . Tickets $ {price} .",
+]
+
+
+@dataclass(frozen=True)
+class BooksConfig:
+    """Size parameters; ``confusable_movie_fraction`` controls how many movie
+    reviews read like book reviews (the 2% extractor error class, scaled up
+    so the effect is measurable)."""
+
+    num_books: int = 40
+    num_movies: int = 20
+    confusable_movie_fraction: float = 0.6
+    catalog_coverage: float = 0.5
+    noise: NoiseConfig = NoiseConfig()
+
+
+def generate(config: BooksConfig = BooksConfig(), seed: int = 0) -> GeneratedCorpus:
+    """Generate review pages, the partial book catalog, and a movie dictionary."""
+    rng = np.random.default_rng(seed)
+    book_titles = [f"The {w}" for w in synthetic_names(config.num_books, rng, length=6)]
+    movie_titles = [f"The {w}" for w in synthetic_names(config.num_movies, rng,
+                                                        prefix="", length=7)]
+    creators = synthetic_names(config.num_books + config.num_movies, rng, length=5)
+
+    documents: list[Document] = []
+    truth: set[tuple] = set()
+    catalog: list[tuple] = []
+
+    for i, title in enumerate(book_titles):
+        creator = creators[i]
+        price = f"{int(rng.integers(8, 40))}.99"
+        template = BOOK_TEMPLATES[int(rng.integers(0, len(BOOK_TEMPLATES)))]
+        documents.append(Document(
+            f"b{i:04d}", template.format(title=title, creator=creator, price=price)))
+        truth.add((title, price))
+        if rng.random() < config.catalog_coverage:
+            catalog.append((title, creator))
+
+    for j, title in enumerate(movie_titles):
+        creator = creators[config.num_books + j]
+        price = f"{int(rng.integers(8, 20))}.50"
+        if rng.random() < config.confusable_movie_fraction:
+            pool = MOVIE_TEMPLATES
+        else:
+            pool = MOVIE_TEMPLATES_CLEAR
+        template = pool[int(rng.integers(0, len(pool)))]
+        documents.append(Document(
+            f"m{j:04d}", template.format(title=title, creator=creator, price=price)))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"book_price": truth},
+        kb={"Catalog": catalog, "MovieDict": [(t,) for t in movie_titles]},
+        metadata={"config": config, "book_titles": book_titles,
+                  "movie_titles": movie_titles},
+    )

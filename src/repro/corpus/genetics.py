@@ -1,0 +1,105 @@
+"""The medical-genetics corpus: gene-phenotype relations from "papers".
+
+Models the paper's Section 6.1 application with Prof. Bejerano: extract
+``(gene, phenotype, research-paper)`` triples from the literature, supervised
+by an incomplete OMIM-style database.  Sentences either assert a causal
+gene-phenotype link or merely co-mention the two (the hard distractor class:
+"GENE was sequenced in patients with PHENOTYPE").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig, apply_typo
+from repro.nlp.pipeline import Document
+
+CAUSAL_TEMPLATES = [
+    "Mutations in {g} cause {p} .",
+    "{g} variants are responsible for {p} .",
+    "Loss of {g} function leads to {p} .",
+    "{p} is caused by defects in {g} .",
+    "Haploinsufficiency of {g} results in {p} .",
+]
+
+COMENTION_TEMPLATES = [
+    "{g} was sequenced in patients with {p} .",
+    "We measured {g} expression in the {p} cohort .",
+    "The {p} study excluded carriers of {g} variants .",
+    "{g} maps near a locus unrelated to {p} .",
+]
+
+PHENOTYPE_POOL = [
+    "cardiomyopathy", "retinopathy", "neuropathy", "nephropathy", "myopathy",
+    "deafness", "anemia", "ataxia", "epilepsy", "dystonia", "glaucoma",
+    "scoliosis", "ichthyosis", "alopecia", "microcephaly", "macrocephaly",
+    "hypotonia", "hypertension", "arrhythmia", "cataract",
+]
+
+
+@dataclass(frozen=True)
+class GeneticsConfig:
+    """Size and noise parameters for the genetics corpus."""
+
+    num_causal_pairs: int = 30
+    num_comention_pairs: int = 30
+    sentences_per_pair: int = 2
+    noise: NoiseConfig = NoiseConfig()
+
+
+def _gene_names(count: int, rng: np.random.Generator) -> list[str]:
+    """OMIM-style gene symbols: 3-4 letters + digit, e.g. 'BRCA1'-shaped."""
+    names: list[str] = []
+    seen: set[str] = set()
+    letters = "ABCDEFGHKLMNPRSTWXYZ"
+    while len(names) < count:
+        size = int(rng.integers(3, 5))
+        symbol = "".join(letters[int(rng.integers(0, len(letters)))]
+                         for _ in range(size)) + str(int(rng.integers(1, 10)))
+        if symbol not in seen:
+            seen.add(symbol)
+            names.append(symbol)
+    return names
+
+
+def generate(config: GeneticsConfig = GeneticsConfig(), seed: int = 0) -> GeneratedCorpus:
+    """Generate the genetics corpus, truth, and OMIM-style supervision KB."""
+    rng = np.random.default_rng(seed)
+    genes = _gene_names(config.num_causal_pairs + config.num_comention_pairs, rng)
+    phenotypes = [PHENOTYPE_POOL[int(rng.integers(0, len(PHENOTYPE_POOL)))]
+                  for _ in genes]
+
+    causal = list(zip(genes[:config.num_causal_pairs],
+                      phenotypes[:config.num_causal_pairs]))
+    comention = list(zip(genes[config.num_causal_pairs:],
+                         phenotypes[config.num_causal_pairs:]))
+
+    documents: list[Document] = []
+
+    def emit(templates, g, p, tag, index):
+        for k in range(config.sentences_per_pair):
+            template = templates[int(rng.integers(0, len(templates)))]
+            text = template.format(g=g, p=p)
+            if rng.random() < config.noise.typo_rate:
+                text = apply_typo(text, rng)
+            documents.append(Document(f"{tag}{index:04d}_{k}", text))
+
+    for i, (g, p) in enumerate(causal):
+        emit(CAUSAL_TEMPLATES, g, p, "c", i)
+    for i, (g, p) in enumerate(comention):
+        emit(COMENTION_TEMPLATES, g, p, "x", i)
+
+    omim = [(g, p) for g, p in causal if rng.random() < config.noise.kb_coverage]
+    for g, p in comention:
+        if rng.random() < config.noise.kb_error_rate:
+            omim.append((g, p))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"gene_phenotype": set(causal)},
+        kb={"Omim": omim},
+        metadata={"config": config, "causal": causal, "comention": comention,
+                  "genes": set(genes), "phenotypes": set(PHENOTYPE_POOL)},
+    )

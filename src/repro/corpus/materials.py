@@ -1,0 +1,134 @@
+"""The materials-science corpus: semiconductor formula-property extraction.
+
+Models Section 6.3 (with Toshiba): build the missing "handbook of
+semiconductor materials" -- ``(formula, property, value)`` triples like
+electron mobility and band gap -- from research prose.  Distractor numbers
+(temperatures, years, sample counts) appear in the same sentences, which is
+what makes naive numeric extraction fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig, apply_typo
+from repro.nlp.pipeline import Document
+
+PROPERTY_TEMPLATES = {
+    "electron_mobility": [
+        "The electron mobility of {f} reached {v} cm2/Vs at room temperature .",
+        "{f} exhibits an electron mobility of {v} cm2/Vs .",
+        "We measured a field-effect mobility of {v} cm2/Vs for {f} films .",
+    ],
+    "band_gap": [
+        "The band gap of {f} is {v} eV .",
+        "{f} has a direct band gap of {v} eV .",
+        "Optical absorption yields a {v} eV gap for {f} .",
+    ],
+}
+
+DISTRACTOR_TEMPLATES = [
+    "The {f} samples were annealed at {v} degrees for two hours .",
+    "A total of {v} {f} devices were fabricated in 2014 .",
+    "The {f} wafer measured {v} mm across .",
+]
+
+PROPERTY_RANGES = {
+    "electron_mobility": (100, 10000),
+    "band_gap": (0.5, 6.0),
+}
+
+ELEMENTS = ["Ga", "As", "In", "P", "Al", "N", "Zn", "O", "Cd", "Te", "Si",
+            "Ge", "Sn", "S", "Se", "Sb", "Mg", "C", "B", "Hg"]
+
+
+PROPERTY_LABELS = {
+    "electron_mobility": ("electron mobility", "cm2/Vs"),
+    "band_gap": ("band gap", "eV"),
+}
+
+# Measurement tables: the paper's second dark-data modality.  A fraction of
+# materials report their numbers in an HTML table instead of prose.
+TABLE_TEMPLATE = """
+<p>Summary of measured transport properties.</p>
+<table>
+  <tr><th>Material</th><th>{label} ( {unit} )</th><th>anneal temperature ( C )</th></tr>
+  <tr><td>{f}</td><td>{v}</td><td>{anneal}</td></tr>
+</table>
+"""
+
+
+@dataclass(frozen=True)
+class MaterialsConfig:
+    """Size and noise parameters for the materials corpus.
+
+    ``table_fraction`` of the materials report their measurement in an HTML
+    table (with a distractor row) rather than prose.
+    """
+
+    num_materials: int = 30
+    distractors_per_material: int = 1
+    table_fraction: float = 0.0
+    noise: NoiseConfig = NoiseConfig()
+
+
+def _formulas(count: int, rng: np.random.Generator) -> list[str]:
+    formulas: list[str] = []
+    seen: set[str] = set()
+    while len(formulas) < count:
+        a, b = rng.choice(len(ELEMENTS), size=2, replace=False)
+        formula = ELEMENTS[int(a)] + ELEMENTS[int(b)]
+        if formula not in seen:
+            seen.add(formula)
+            formulas.append(formula)
+    return formulas
+
+
+def generate(config: MaterialsConfig = MaterialsConfig(), seed: int = 0,
+             ) -> GeneratedCorpus:
+    """Generate the materials corpus with numeric ground truth."""
+    rng = np.random.default_rng(seed)
+    formulas = _formulas(config.num_materials, rng)
+    documents: list[Document] = []
+    truth: set[tuple] = set()
+    handbook_kb: list[tuple] = []
+
+    for i, formula in enumerate(formulas):
+        prop = "electron_mobility" if i % 2 == 0 else "band_gap"
+        lo, hi = PROPERTY_RANGES[prop]
+        if prop == "electron_mobility":
+            value = float(int(rng.uniform(lo, hi)))
+        else:
+            value = round(float(rng.uniform(lo, hi)), 1)
+        value_text = f"{value:g}"
+        if rng.random() < config.table_fraction:
+            label, unit = PROPERTY_LABELS[prop]
+            text = TABLE_TEMPLATE.format(
+                f=formula, label=label, unit=unit, v=value_text,
+                anneal=int(rng.uniform(100, 900)))
+            documents.append(Document(f"tbl{i:04d}", text))
+        else:
+            templates = PROPERTY_TEMPLATES[prop]
+            template = templates[int(rng.integers(0, len(templates)))]
+            text = template.format(f=formula, v=value_text)
+            if rng.random() < config.noise.typo_rate:
+                text = apply_typo(text, rng)
+            documents.append(Document(f"p{i:04d}", text))
+        truth.add((formula, prop, value_text))
+        if rng.random() < config.noise.kb_coverage:
+            handbook_kb.append((formula, prop, value_text))
+
+        for k in range(config.distractors_per_material):
+            template = DISTRACTOR_TEMPLATES[int(rng.integers(0, len(DISTRACTOR_TEMPLATES)))]
+            distractor_value = f"{int(rng.uniform(100, 900))}"
+            documents.append(Document(
+                f"x{i:04d}_{k}", template.format(f=formula, v=distractor_value)))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"material_property": truth},
+        kb={"Handbook": handbook_kb},
+        metadata={"config": config, "formulas": formulas},
+    )

@@ -1,0 +1,99 @@
+"""The paleontology corpus: fossil occurrences from the literature.
+
+PaleoDeepDive (paper reference [37], and the Section 4.2 scale anecdote
+about "a corpus of 0.3 million papers from the paleobiology literature") is
+DeepDive's flagship science deployment: extract ``(taxon, formation)``
+occurrence pairs from geology papers, supervised by a PBDB-style occurrence
+database.  Distractors co-mention a taxon and a formation without asserting
+an occurrence ("X was named before the Y Formation was mapped").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import (GeneratedCorpus, NoiseConfig, apply_typo,
+                               synthetic_names)
+from repro.nlp.pipeline import Document
+
+OCCURRENCE_TEMPLATES = [
+    "Fossils of {t} were recovered from the {f} Formation .",
+    "{t} specimens occur throughout the {f} Formation .",
+    "The {f} Formation yields abundant {t} material .",
+    "We report {t} from the upper {f} Formation .",
+    "Remains of {t} were collected in the {f} Formation .",
+]
+
+DISTRACTOR_TEMPLATES = [
+    "{t} was described long before the {f} Formation was mapped .",
+    "The {f} Formation overlies strata barren of {t} .",
+    "Unlike {t} , the {f} Formation fauna remains unstudied .",
+    "The {f} Formation predates the first appearance of {t} .",
+]
+
+GENUS_SUFFIXES = ["saurus", "odon", "therium", "ites", "ceras", "ella"]
+
+
+@dataclass(frozen=True)
+class PaleoConfig:
+    """Size and noise parameters for the paleontology corpus."""
+
+    num_occurrences: int = 30
+    num_distractors: int = 30
+    sentences_per_pair: int = 2
+    noise: NoiseConfig = NoiseConfig()
+
+
+def _taxa(count: int, rng: np.random.Generator) -> list[str]:
+    stems = synthetic_names(count, rng, length=4)
+    return [stem + GENUS_SUFFIXES[int(rng.integers(0, len(GENUS_SUFFIXES)))]
+            for stem in stems]
+
+
+def _formations(count: int, rng: np.random.Generator) -> list[str]:
+    return synthetic_names(count, rng, length=6)
+
+
+def generate(config: PaleoConfig = PaleoConfig(), seed: int = 0) -> GeneratedCorpus:
+    """Generate the paleontology corpus, truth, and PBDB-style KB."""
+    rng = np.random.default_rng(seed)
+    total = config.num_occurrences + config.num_distractors
+    taxa = _taxa(total, rng)
+    formations = _formations(total, rng)
+
+    occurrences = list(zip(taxa[:config.num_occurrences],
+                           formations[:config.num_occurrences]))
+    distractors = list(zip(taxa[config.num_occurrences:],
+                           formations[config.num_occurrences:]))
+
+    documents: list[Document] = []
+
+    def emit(templates, taxon, formation, tag, index):
+        for k in range(config.sentences_per_pair):
+            template = templates[int(rng.integers(0, len(templates)))]
+            text = template.format(t=taxon, f=formation)
+            if rng.random() < config.noise.typo_rate:
+                text = apply_typo(text, rng)
+            documents.append(Document(f"{tag}{index:04d}_{k}", text))
+
+    for i, (taxon, formation) in enumerate(occurrences):
+        emit(OCCURRENCE_TEMPLATES, taxon, formation, "o", i)
+    for i, (taxon, formation) in enumerate(distractors):
+        emit(DISTRACTOR_TEMPLATES, taxon, formation, "x", i)
+
+    pbdb = [(t, f) for t, f in occurrences
+            if rng.random() < config.noise.kb_coverage]
+    for t, f in distractors:
+        if rng.random() < config.noise.kb_error_rate:
+            pbdb.append((t, f))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"occurrence": set(occurrences)},
+        kb={"Pbdb": pbdb},
+        metadata={"config": config, "occurrences": occurrences,
+                  "distractors": distractors,
+                  "taxa": set(taxa), "formations": set(formations)},
+    )

@@ -1,0 +1,94 @@
+"""The pharmacogenomics corpus: drug-gene interactions from the literature.
+
+Models Section 6.2 (with Mallory & Altman): extract ``(drug, gene)``
+interaction pairs, supervised by an incomplete PharmGKB-style database.
+Interaction sentences use inhibit/activate/target verbs; distractors
+co-mention a drug and a gene without asserting an interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.base import GeneratedCorpus, NoiseConfig, apply_typo
+from repro.corpus.genetics import _gene_names
+from repro.nlp.pipeline import Document
+
+INTERACTION_TEMPLATES = [
+    "{d} inhibits {g} activity in vitro .",
+    "{d} is a potent activator of {g} .",
+    "{d} directly targets {g} .",
+    "Treatment with {d} downregulates {g} expression .",
+    "{g} is the primary target of {d} .",
+]
+
+DISTRACTOR_TEMPLATES = [
+    "{d} was administered before {g} expression was profiled .",
+    "Patients on {d} were genotyped for {g} variants .",
+    "The {d} trial collected {g} sequencing data .",
+    "{g} status did not affect {d} dosing in this cohort .",
+]
+
+DRUG_SUFFIXES = ["mab", "nib", "pril", "statin", "olol", "azole", "cillin"]
+
+
+@dataclass(frozen=True)
+class PharmaConfig:
+    """Size and noise parameters for the pharmacogenomics corpus."""
+
+    num_interactions: int = 30
+    num_distractors: int = 30
+    sentences_per_pair: int = 2
+    noise: NoiseConfig = NoiseConfig()
+
+
+def _drug_names(count: int, rng: np.random.Generator) -> list[str]:
+    from repro.corpus.base import synthetic_names
+    stems = synthetic_names(count, rng, length=4)
+    return [stem.lower() + DRUG_SUFFIXES[int(rng.integers(0, len(DRUG_SUFFIXES)))]
+            for stem in stems]
+
+
+def generate(config: PharmaConfig = PharmaConfig(), seed: int = 0) -> GeneratedCorpus:
+    """Generate the pharma corpus, truth, and PharmGKB-style KB."""
+    rng = np.random.default_rng(seed)
+    total = config.num_interactions + config.num_distractors
+    drugs = _drug_names(total, rng)
+    genes = _gene_names(total, rng)
+
+    interacting = list(zip(drugs[:config.num_interactions],
+                           genes[:config.num_interactions]))
+    distractors = list(zip(drugs[config.num_interactions:],
+                           genes[config.num_interactions:]))
+
+    documents: list[Document] = []
+
+    def emit(templates, d, g, tag, index):
+        for k in range(config.sentences_per_pair):
+            template = templates[int(rng.integers(0, len(templates)))]
+            text = template.format(d=d, g=g)
+            if rng.random() < config.noise.typo_rate:
+                text = apply_typo(text, rng)
+            documents.append(Document(f"{tag}{index:04d}_{k}", text))
+
+    for i, (d, g) in enumerate(interacting):
+        emit(INTERACTION_TEMPLATES, d, g, "i", i)
+    for i, (d, g) in enumerate(distractors):
+        emit(DISTRACTOR_TEMPLATES, d, g, "n", i)
+
+    pharmgkb = [(d, g) for d, g in interacting
+                if rng.random() < config.noise.kb_coverage]
+    for d, g in distractors:
+        if rng.random() < config.noise.kb_error_rate:
+            pharmgkb.append((d, g))
+
+    return GeneratedCorpus(
+        documents=documents,
+        truth={"drug_gene": set(interacting)},
+        kb={"PharmGkb": pharmgkb},
+        metadata={"config": config, "interacting": interacting,
+                  "distractors": distractors,
+                  "drugs": set(drugs), "genes": set(genes)},
+    )

@@ -1,0 +1,36 @@
+"""In-memory relational datastore with DRed incremental view maintenance.
+
+This package is the substrate the paper assumes from PostgreSQL: typed
+relations, relational-algebra queries, and counting-based incremental view
+maintenance used by incremental grounding (paper Section 4.1).
+"""
+
+from repro.datastore.database import Database, DatabaseError
+from repro.datastore.ivm import MaterializedView, SignedDelta, ViewSet
+from repro.datastore.plan import (Extend, Join, Plan, Project, Rename, Scan,
+                                  Select, Union, chain_joins)
+from repro.datastore.relation import Relation
+from repro.datastore.schema import Column, Schema, SchemaError
+from repro.datastore.types import ColumnType
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseError",
+    "Extend",
+    "Join",
+    "MaterializedView",
+    "Plan",
+    "Project",
+    "Relation",
+    "Rename",
+    "Scan",
+    "Schema",
+    "SchemaError",
+    "Select",
+    "SignedDelta",
+    "Union",
+    "ViewSet",
+    "chain_joins",
+]

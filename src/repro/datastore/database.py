@@ -1,0 +1,87 @@
+"""A named collection of relations plus registered incremental views."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.datastore.ivm import ViewSet
+from repro.datastore.relation import Relation
+from repro.datastore.schema import Schema
+
+
+class DatabaseError(KeyError):
+    """Raised when a relation name cannot be resolved."""
+
+
+class Database:
+    """All DeepDive state lives in one of these: documents, sentences,
+    candidates, features, evidence, and inferred marginals are all relations.
+
+    ``views`` hosts DRed-maintained materialized views (used by incremental
+    grounding); plain relations are updated directly via :meth:`insert`.
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self.views = ViewSet(self)
+
+    # ------------------------------------------------------------------- DDL
+    def create(self, name: str, schema: Schema | None = None, /,
+               **column_types: str) -> Relation:
+        """Create an empty relation ``name`` with ``schema`` (or kwargs form).
+
+        ``name`` and ``schema`` are positional-only so columns may be called
+        ``name`` or ``schema`` (``db.create("people", name="text")``).
+        """
+        if name in self._relations:
+            raise DatabaseError(f"relation {name!r} already exists")
+        if schema is None:
+            if not column_types:
+                raise ValueError("create() needs a schema or column keyword arguments")
+            schema = Schema.of(**column_types)
+        relation = Relation(name, schema)
+        self._relations[name] = relation
+        return relation
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise DatabaseError(f"no relation {name!r}")
+        del self._relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise DatabaseError(f"no relation {name!r} (have {sorted(self._relations)})") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    # ------------------------------------------------------------------- DML
+    def insert(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows directly into a base relation (no view propagation)."""
+        return self[name].insert_many(rows)
+
+    def snapshot(self, names: Iterable[str] | None = None) -> "Database":
+        """A copy of this database; used as the pre-state for delta rules.
+
+        If ``names`` is given, only those relations are deep-copied and the
+        rest are *shared* -- safe for delta evaluation because only the named
+        relations are about to change.
+        """
+        copy_names = set(self._relations if names is None else names)
+        snap = Database.__new__(Database)
+        snap._relations = {
+            name: (relation.copy() if name in copy_names else relation)
+            for name, relation in self._relations.items()
+        }
+        snap.views = ViewSet(snap)
+        return snap
+
+    def stats(self) -> dict[str, int]:
+        """Row counts per relation; part of the 'commodity statistics' the
+        error-analysis document reports (Section 5.2)."""
+        return {name: len(relation) for name, relation in sorted(self._relations.items())}

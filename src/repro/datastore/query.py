@@ -1,0 +1,208 @@
+"""Relational algebra over :class:`~repro.datastore.relation.Relation`.
+
+Grounding compiles DDlog rule bodies into joins over these operators, so the
+operator set mirrors what DeepDive executes as SQL: selection, projection,
+renaming, equi-join (hash join), union/difference under bag semantics,
+distinct, and group-by aggregation.
+
+All operators return *new* relations and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+from repro.datastore.relation import Relation, Row
+from repro.datastore.schema import Schema, SchemaError
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+def select(relation: Relation, predicate: Predicate, name: str | None = None) -> Relation:
+    """Rows of ``relation`` whose dict form satisfies ``predicate``."""
+    out = Relation(name or f"select({relation.name})", relation.schema)
+    for row, count in relation.counted_rows():
+        if predicate(relation.schema.row_dict(row)):
+            out.insert(row, count)
+    return out
+
+
+def project(relation: Relation, columns: Sequence[str], name: str | None = None,
+            distinct: bool = False) -> Relation:
+    """Project ``relation`` onto ``columns`` (bag semantics unless ``distinct``)."""
+    schema = relation.schema.project(columns)
+    positions = [relation.schema.position(c) for c in columns]
+    out = Relation(name or f"project({relation.name})", schema)
+    for row, count in relation.counted_rows():
+        out.insert(tuple(row[i] for i in positions), 1 if distinct else count)
+    if distinct:
+        return _dedupe(out)
+    return out
+
+
+def rename(relation: Relation, mapping: dict[str, str], name: str | None = None) -> Relation:
+    """Rename columns of ``relation`` per ``mapping``."""
+    out = Relation(name or relation.name, relation.schema.rename(mapping))
+    for row, count in relation.counted_rows():
+        out.insert(row, count)
+    return out
+
+
+def extend(relation: Relation, column: str, column_type: str,
+           fn: Callable[[dict[str, Any]], Any], name: str | None = None) -> Relation:
+    """Append a computed column ``column`` = ``fn(row_dict)`` to every row."""
+    from repro.datastore.types import ColumnType
+    from repro.datastore.schema import Column
+
+    new_schema = Schema(relation.schema.columns + (Column(column, ColumnType(column_type)),))
+    out = Relation(name or relation.name, new_schema)
+    for row, count in relation.counted_rows():
+        out.insert(row + (fn(relation.schema.row_dict(row)),), count)
+    return out
+
+
+def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None = None,
+         name: str | None = None) -> Relation:
+    """Equi-join ``left`` and ``right``.
+
+    ``on`` is a list of ``(left_column, right_column)`` pairs; if ``None``,
+    a natural join on shared column names is performed.  The output schema is
+    the concatenation of both schemas with right-side join columns dropped
+    (natural-join style) and remaining right-side conflicts prefixed ``r_``.
+
+    Implemented as a hash join using the smaller side as the build input.
+    """
+    if on is None:
+        shared = [c for c in left.schema.names if c in right.schema]
+        on = [(c, c) for c in shared]
+    left_keys = [pair[0] for pair in on]
+    right_keys = [pair[1] for pair in on]
+    for column in left_keys:
+        left.schema.position(column)
+    for column in right_keys:
+        right.schema.position(column)
+
+    keep_right = [c for c in right.schema.names if c not in right_keys]
+    schema = left.schema.concat(right.schema.project(keep_right))
+    keep_positions = [right.schema.position(c) for c in keep_right]
+    out = Relation(name or f"join({left.name},{right.name})", schema)
+
+    # Build on the smaller relation to keep the hash table small.
+    build, probe, build_keys, probe_keys, build_is_left = (
+        (left, right, left_keys, right_keys, True)
+        if left.distinct_count <= right.distinct_count
+        else (right, left, right_keys, left_keys, False)
+    )
+    build_positions = [build.schema.position(c) for c in build_keys]
+    probe_positions = [probe.schema.position(c) for c in probe_keys]
+    table: dict[tuple[Any, ...], list[tuple[Row, int]]] = {}
+    for row, count in build.counted_rows():
+        table.setdefault(tuple(row[i] for i in build_positions), []).append((row, count))
+    for probe_row, probe_count in probe.counted_rows():
+        matches = table.get(tuple(probe_row[i] for i in probe_positions))
+        if not matches:
+            continue
+        for build_row, build_count in matches:
+            left_row, right_row = (build_row, probe_row) if build_is_left else (probe_row, build_row)
+            combined = left_row + tuple(right_row[i] for i in keep_positions)
+            out.insert(combined, probe_count * build_count)
+    return out
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Bag union (counts add); schemas must match positionally by type."""
+    _require_compatible(left, right)
+    out = left.copy(name or f"union({left.name},{right.name})")
+    for row, count in right.counted_rows():
+        out.insert(row, count)
+    return out
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Bag difference (counts subtract, floored at zero)."""
+    _require_compatible(left, right)
+    out = Relation(name or f"diff({left.name},{right.name})", left.schema)
+    for row, count in left.counted_rows():
+        remaining = count - right.count(row)
+        if remaining > 0:
+            out.insert(row, remaining)
+    return out
+
+
+def distinct(relation: Relation, name: str | None = None) -> Relation:
+    """Set-semantics version of ``relation`` (every count becomes 1)."""
+    out = Relation(name or f"distinct({relation.name})", relation.schema)
+    for row in relation.distinct_rows():
+        out.insert(row)
+    return out
+
+
+def aggregate(relation: Relation, group_by: Sequence[str],
+              aggregates: dict[str, tuple[str, str]],
+              name: str | None = None) -> Relation:
+    """Group-by aggregation.
+
+    ``aggregates`` maps output column name to ``(function, input_column)``
+    where function is one of ``count``, ``sum``, ``min``, ``max``, ``avg``.
+    For ``count`` the input column is ignored (``'*'`` by convention).
+    Output columns are the group-by columns followed by the aggregates.
+    """
+    from repro.datastore.schema import Column
+    from repro.datastore.types import ColumnType
+
+    group_positions = [relation.schema.position(c) for c in group_by]
+    agg_specs = []
+    out_columns = list(relation.schema.project(group_by).columns)
+    for out_name, (fn, input_column) in aggregates.items():
+        if fn not in ("count", "sum", "min", "max", "avg"):
+            raise SchemaError(f"unknown aggregate function {fn!r}")
+        position = None if fn == "count" else relation.schema.position(input_column)
+        agg_specs.append((out_name, fn, position))
+        if fn == "count":
+            ctype = ColumnType.INT
+        elif fn == "avg":
+            ctype = ColumnType.FLOAT
+        else:
+            ctype = relation.schema.columns[position].type
+        out_columns.append(Column(out_name, ctype))
+
+    groups: dict[tuple[Any, ...], list[tuple[Row, int]]] = {}
+    for row, count in relation.counted_rows():
+        groups.setdefault(tuple(row[i] for i in group_positions), []).append((row, count))
+
+    out = Relation(name or f"agg({relation.name})", Schema(tuple(out_columns)))
+    for key, members in groups.items():
+        values: list[Any] = []
+        for _, fn, position in agg_specs:
+            if fn == "count":
+                values.append(sum(count for _, count in members))
+                continue
+            observed = [row[position] for row, count in members for _ in range(count)
+                        if row[position] is not None]
+            if not observed:
+                values.append(None)
+            elif fn == "sum":
+                values.append(sum(observed))
+            elif fn == "min":
+                values.append(min(observed))
+            elif fn == "max":
+                values.append(max(observed))
+            else:  # avg
+                values.append(sum(observed) / len(observed))
+        out.insert(key + tuple(values))
+    return out
+
+
+def _require_compatible(left: Relation, right: Relation) -> None:
+    left_types = tuple(c.type for c in left.schema.columns)
+    right_types = tuple(c.type for c in right.schema.columns)
+    if left_types != right_types:
+        raise SchemaError(
+            f"incompatible schemas for set operation: {left.schema.names} vs {right.schema.names}")
+
+
+def _dedupe(relation: Relation) -> Relation:
+    out = Relation(relation.name, relation.schema)
+    out._counts = Counter(dict.fromkeys(relation._counts, 1))
+    return out

@@ -1,0 +1,171 @@
+"""Relations: bag-semantics tuple stores with hash indexes.
+
+DeepDive's datastore holds every intermediate product of the pipeline in
+relations.  A :class:`Relation` stores rows with *bag semantics* (each row has
+a multiplicity count), which is exactly what the DRed incremental view
+maintenance algorithm of Gupta, Mumick & Subrahmanian needs: a delta relation
+is "the same schema plus a count", and here every relation carries counts.
+
+Hash indexes are created lazily per column set and kept consistent by the
+insert/delete paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.datastore.schema import Schema, SchemaError
+
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """A named, schema'd multiset of rows with lazy hash indexes."""
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self._counts: Counter[Row] = Counter()
+        self._indexes: dict[tuple[int, ...], dict[tuple[Any, ...], Counter[Row]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        """Number of rows, counting multiplicity."""
+        return sum(self._counts.values())
+
+    def __iter__(self) -> Iterator[Row]:
+        """Iterate rows with multiplicity (a row with count 3 appears 3 times)."""
+        for row, count in self._counts.items():
+            for _ in range(count):
+                yield row
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return self.schema.validate_row(row) in self._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, arity={self.schema.arity}, rows={len(self)})"
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    def count(self, row: Sequence[Any]) -> int:
+        """Multiplicity of ``row`` (0 if absent)."""
+        return self._counts.get(self.schema.validate_row(row), 0)
+
+    def distinct_rows(self) -> Iterator[Row]:
+        """Iterate each distinct row once, ignoring multiplicity."""
+        return iter(self._counts)
+
+    def counted_rows(self) -> Iterator[tuple[Row, int]]:
+        """Iterate ``(row, count)`` pairs."""
+        return iter(self._counts.items())
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, row: Sequence[Any], count: int = 1) -> Row:
+        """Insert ``row`` with multiplicity ``count``; return the stored tuple."""
+        if count <= 0:
+            raise ValueError(f"insert count must be positive, got {count}")
+        stored = self.schema.validate_row(row)
+        self._counts[stored] += count
+        for key_positions, index in self._indexes.items():
+            key = tuple(stored[i] for i in key_positions)
+            index.setdefault(key, Counter())[stored] += count
+        return stored
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert every row in ``rows``; return the number inserted."""
+        inserted = 0
+        for row in rows:
+            self.insert(row)
+            inserted += 1
+        return inserted
+
+    def delete(self, row: Sequence[Any], count: int = 1) -> int:
+        """Remove up to ``count`` copies of ``row``; return how many were removed."""
+        if count <= 0:
+            raise ValueError(f"delete count must be positive, got {count}")
+        stored = self.schema.validate_row(row)
+        present = self._counts.get(stored, 0)
+        removed = min(count, present)
+        if removed == 0:
+            return 0
+        if removed == present:
+            del self._counts[stored]
+        else:
+            self._counts[stored] = present - removed
+        for key_positions, index in self._indexes.items():
+            key = tuple(stored[i] for i in key_positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                if bucket[stored] <= removed:
+                    del bucket[stored]
+                else:
+                    bucket[stored] -= removed
+                if not bucket:
+                    del index[key]
+        return removed
+
+    def clear(self) -> None:
+        """Remove all rows (indexes are kept but emptied)."""
+        self._counts.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ---------------------------------------------------------------- lookups
+    def _index_for(self, columns: Sequence[str]) -> dict[tuple[Any, ...], Counter[Row]]:
+        positions = tuple(self.schema.position(c) for c in columns)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row, count in self._counts.items():
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, Counter())[row] += count
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> Iterator[Row]:
+        """Yield rows (with multiplicity) where ``columns`` equal ``values``.
+
+        Builds (and caches) a hash index on ``columns`` the first time.
+        """
+        if len(columns) != len(values):
+            raise SchemaError("lookup columns and values must have equal length")
+        bucket = self._index_for(columns).get(tuple(values))
+        if bucket is None:
+            return
+        for row, count in bucket.items():
+            for _ in range(count):
+                yield row
+
+    def lookup_distinct(self, columns: Sequence[str], values: Sequence[Any]) -> Iterator[Row]:
+        """Like :meth:`lookup` but yields each distinct row once."""
+        bucket = self._index_for(columns).get(tuple(values))
+        if bucket is not None:
+            yield from bucket
+
+    # ------------------------------------------------------------ conveniences
+    def rows_where(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[Row]:
+        """Yield rows (with multiplicity) whose dict form satisfies ``predicate``."""
+        for row in self:
+            if predicate(self.schema.row_dict(row)):
+                yield row
+
+    def column(self, name: str) -> Iterator[Any]:
+        """Yield the value of column ``name`` for every row (with multiplicity)."""
+        position = self.schema.position(name)
+        for row in self:
+            yield row[position]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Materialize all rows as dicts (multiplicity preserved)."""
+        return [self.schema.row_dict(row) for row in self]
+
+    def copy(self, name: str | None = None) -> "Relation":
+        """Deep-enough copy: shares row tuples (immutable) but not counts/indexes."""
+        clone = Relation(name or self.name, self.schema)
+        clone._counts = Counter(self._counts)
+        return clone

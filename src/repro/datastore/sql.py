@@ -1,0 +1,413 @@
+"""A SQL subset over the datastore.
+
+"To facilitate error analysis, users write standard SQL queries" (paper
+Section 3.4).  This module gives the datastore that interface: a hand-written
+parser and executor for the SELECT subset an error-analysis session needs --
+joins, filters, grouping with aggregates, ordering, and limits.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT select_list
+    FROM relation [alias] [JOIN relation [alias] ON a.x = b.y]...
+    [WHERE predicate [AND predicate]...]
+    [GROUP BY column[, column]...]
+    [ORDER BY column [DESC]]
+    [LIMIT n]
+
+``select_list``: ``*``, or comma-separated columns / aggregate calls
+(``COUNT(*)``, ``SUM(col)``, ``AVG(col)``, ``MIN(col)``, ``MAX(col)``),
+optionally aliased with ``AS name``.  Columns may be qualified with the
+relation alias (``p.name``); unqualified names must be unambiguous.
+Predicates compare a column to a literal or another column with
+``= != < <= > >=``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datastore import query as Q
+from repro.datastore.database import Database
+from repro.datastore.relation import Relation
+
+_TOKEN = re.compile(r"""
+      (?P<string>'(?:[^']|'')*')
+    | (?P<number>-?\d+\.\d+|-?\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op><=|>=|!=|<>|[=<>(),.*])
+    | (?P<ws>\s+)
+    | (?P<bad>.)
+""", re.VERBOSE)
+
+_KEYWORDS = {"select", "from", "join", "on", "where", "and", "group", "by",
+             "order", "limit", "as", "desc", "asc", "count", "sum", "avg",
+             "min", "max"}
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+
+class SqlError(ValueError):
+    """Raised for unparseable or unexecutable SQL."""
+
+
+@dataclass
+class QueryResult:
+    """Rows plus column names, with a small presentation helper."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, limit: int = 50) -> str:
+        shown = self.rows[:limit]
+        table = [list(map(_cell, self.columns))] + \
+            [[_cell(v) for v in row] for row in shown]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.columns))]
+        lines = ["  ".join(cell.ljust(w) for cell, w in zip(table[0], widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table[1:]:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# ------------------------------------------------------------------ lexer
+def _lex(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    for match in _TOKEN.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise SqlError(f"unexpected character {value!r}")
+        if kind == "string":
+            tokens.append(("string", value[1:-1].replace("''", "'")))
+        elif kind == "ident":
+            lowered = value.lower()
+            tokens.append(("kw" if lowered in _KEYWORDS else "ident",
+                           lowered if lowered in _KEYWORDS else value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ------------------------------------------------------------------ parser
+@dataclass
+class _SelectItem:
+    aggregate: str | None       # None for a plain column
+    column: str | None          # None for COUNT(*)
+    alias: str
+
+
+@dataclass
+class _Condition:
+    left: str                   # column reference
+    op: str
+    right: Any                  # literal value
+    right_column: str | None    # set when comparing two columns
+
+
+@dataclass
+class _Query:
+    items: list[_SelectItem]
+    star: bool
+    tables: list[tuple[str, str]]                 # (relation, alias)
+    joins: list[tuple[str, str]] = field(default_factory=list)
+    conditions: list[_Condition] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> str:
+        token_kind, token_value = self._peek()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise SqlError(f"expected {value or kind!r}, found {token_value!r}")
+        self._advance()
+        return token_value
+
+    def _match_kw(self, word: str) -> bool:
+        if self._peek() == ("kw", word):
+            self._advance()
+            return True
+        return False
+
+    def parse(self) -> _Query:
+        self._expect("kw", "select")
+        star = False
+        items: list[_SelectItem] = []
+        if self._peek() == ("op", "*"):
+            self._advance()
+            star = True
+        else:
+            items.append(self._select_item())
+            while self._peek() == ("op", ","):
+                self._advance()
+                items.append(self._select_item())
+
+        self._expect("kw", "from")
+        tables = [self._table()]
+        joins: list[tuple[str, str]] = []
+        while self._match_kw("join"):
+            tables.append(self._table())
+            self._expect("kw", "on")
+            left = self._column_ref()
+            self._expect("op", "=")
+            right = self._column_ref()
+            joins.append((left, right))
+
+        query = _Query(items=items, star=star, tables=tables, joins=joins)
+        if self._match_kw("where"):
+            query.conditions.append(self._condition())
+            while self._match_kw("and"):
+                query.conditions.append(self._condition())
+        if self._match_kw("group"):
+            self._expect("kw", "by")
+            query.group_by.append(self._column_ref())
+            while self._peek() == ("op", ","):
+                self._advance()
+                query.group_by.append(self._column_ref())
+        if self._match_kw("order"):
+            self._expect("kw", "by")
+            query.order_by = self._column_ref_or_alias()
+            if self._match_kw("desc"):
+                query.descending = True
+            else:
+                self._match_kw("asc")
+        if self._match_kw("limit"):
+            kind, value = self._advance()
+            if kind != "number":
+                raise SqlError("LIMIT needs a number")
+            query.limit = int(value)
+        if self._peek()[0] != "eof":
+            raise SqlError(f"unexpected trailing input {self._peek()[1]!r}")
+        return query
+
+    def _select_item(self) -> _SelectItem:
+        kind, value = self._peek()
+        if kind == "kw" and value in _AGGREGATES:
+            self._advance()
+            self._expect("op", "(")
+            if value == "count" and self._peek() == ("op", "*"):
+                self._advance()
+                column = None
+            else:
+                column = self._column_ref()
+            self._expect("op", ")")
+            default = "star" if column is None else column.replace(".", "_")
+            alias = f"{value}_{default}"
+            if self._match_kw("as"):
+                alias = self._expect("ident")
+            return _SelectItem(aggregate=value, column=column, alias=alias)
+        column = self._column_ref()
+        alias = column
+        if self._match_kw("as"):
+            alias = self._expect("ident")
+        return _SelectItem(aggregate=None, column=column, alias=alias)
+
+    def _table(self) -> tuple[str, str]:
+        name = self._expect("ident")
+        alias = name
+        if self._peek()[0] == "ident":
+            alias = self._advance()[1]
+        return name, alias
+
+    def _column_ref(self) -> str:
+        first = self._expect("ident")
+        if self._peek() == ("op", "."):
+            self._advance()
+            second = self._expect("ident")
+            return f"{first}.{second}"
+        return first
+
+    def _column_ref_or_alias(self) -> str:
+        return self._column_ref()
+
+    def _condition(self) -> _Condition:
+        left = self._column_ref()
+        op_kind, op_value = self._advance()
+        if op_kind != "op" or op_value not in ("=", "!=", "<>", "<", "<=",
+                                               ">", ">="):
+            raise SqlError(f"expected comparison operator, found {op_value!r}")
+        if op_value == "<>":
+            op_value = "!="
+        kind, value = self._peek()
+        if kind == "string":
+            self._advance()
+            return _Condition(left, op_value, value, None)
+        if kind == "number":
+            self._advance()
+            number = float(value) if "." in value else int(value)
+            return _Condition(left, op_value, number, None)
+        if kind == "ident":
+            return _Condition(left, op_value, None, self._column_ref())
+        raise SqlError(f"expected literal or column, found {value!r}")
+
+
+# ---------------------------------------------------------------- executor
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def execute(db: Database, sql: str) -> QueryResult:
+    """Parse and execute ``sql`` against ``db``."""
+    query = _Parser(_lex(sql)).parse()
+
+    # FROM + JOIN: qualify all columns as alias.column
+    relation = _load_qualified(db, *query.tables[0])
+    for (table, alias), (left, right) in zip(query.tables[1:], query.joins):
+        right_relation = _load_qualified(db, table, alias)
+        left_column = _resolve(left, relation.schema.names)
+        right_column = _resolve(right, right_relation.schema.names)
+        if left_column is None or right_column is None:
+            # the ON pair may be written right-to-left
+            left_column = _resolve(right, relation.schema.names)
+            right_column = _resolve(left, right_relation.schema.names)
+        if left_column is None or right_column is None:
+            raise SqlError(f"cannot resolve join {left} = {right}")
+        relation = Q.join(relation, right_relation,
+                          on=[(left_column, right_column)])
+
+    # WHERE
+    for condition in query.conditions:
+        relation = Q.select(relation, _predicate(condition, relation))
+
+    names = relation.schema.names
+
+    # aggregates / grouping
+    has_aggregate = any(item.aggregate for item in query.items)
+    if has_aggregate or query.group_by:
+        group_columns = [_resolve_or_raise(c, names) for c in query.group_by]
+        aggregates = {}
+        output_columns: list[str] = []
+        for item in query.items:
+            if item.aggregate is None:
+                resolved = _resolve_or_raise(item.column, names)
+                if resolved not in group_columns:
+                    raise SqlError(
+                        f"column {item.column!r} must appear in GROUP BY")
+                output_columns.append(item.alias)
+            else:
+                input_column = ("*" if item.column is None
+                                else _resolve_or_raise(item.column, names))
+                aggregates[item.alias] = (item.aggregate, input_column)
+                output_columns.append(item.alias)
+        grouped = Q.aggregate(relation, group_columns, aggregates)
+        # reorder to the select list (group cols first in Q.aggregate output)
+        positions = []
+        for item in query.items:
+            if item.aggregate is None:
+                positions.append(grouped.schema.position(
+                    _resolve_or_raise(item.column, names)))
+            else:
+                positions.append(grouped.schema.position(item.alias))
+        rows = [tuple(row[i] for i in positions) for row in grouped]
+        result = QueryResult(tuple(output_columns), rows)
+    elif query.star:
+        short = tuple(name.split(".", 1)[1] for name in names)
+        result = QueryResult(short, list(relation))
+    else:
+        positions = [relation.schema.position(
+            _resolve_or_raise(item.column, names)) for item in query.items]
+        result = QueryResult(tuple(item.alias for item in query.items),
+                             [tuple(row[i] for i in positions)
+                              for row in relation])
+
+    # ORDER BY / LIMIT
+    if query.order_by is not None:
+        if query.order_by in result.columns:
+            index = result.columns.index(query.order_by)
+        else:
+            resolved = _resolve(query.order_by, result.columns)
+            if resolved is None:
+                raise SqlError(f"cannot order by {query.order_by!r}")
+            index = result.columns.index(resolved)
+        result.rows.sort(key=lambda row: (row[index] is None, row[index]),
+                         reverse=query.descending)
+    else:
+        result.rows.sort(key=repr)
+    if query.limit is not None:
+        result.rows = result.rows[:query.limit]
+    return result
+
+
+def _load_qualified(db: Database, table: str, alias: str) -> Relation:
+    if table not in db:
+        raise SqlError(f"no relation {table!r}")
+    base = db[table]
+    return Q.rename(base, {c: f"{alias}.{c}" for c in base.schema.names},
+                    name=alias)
+
+
+def _resolve(reference: str, names: tuple[str, ...] | list[str]) -> str | None:
+    """Resolve a possibly-unqualified column reference against names."""
+    if reference in names:
+        return reference
+    matches = [n for n in names if n.split(".", 1)[-1] == reference]
+    if len(matches) == 1:
+        return matches[0]
+    if len(matches) > 1:
+        raise SqlError(f"ambiguous column {reference!r} "
+                       f"(candidates: {sorted(matches)})")
+    return None
+
+
+def _resolve_or_raise(reference: str | None, names) -> str:
+    if reference is None:
+        raise SqlError("missing column reference")
+    resolved = _resolve(reference, names)
+    if resolved is None:
+        raise SqlError(f"no column {reference!r} (have {sorted(names)})")
+    return resolved
+
+
+def _predicate(condition: _Condition, relation: Relation):
+    names = relation.schema.names
+    left = _resolve_or_raise(condition.left, names)
+    compare = _COMPARATORS[condition.op]
+    if condition.right_column is not None:
+        right = _resolve_or_raise(condition.right_column, names)
+        return lambda row: compare(row[left], row[right])
+    literal = condition.right
+    return lambda row: row[left] is not None and compare(row[left], literal)

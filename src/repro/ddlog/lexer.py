@@ -1,0 +1,65 @@
+"""Tokenizer for the DDlog-like language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class DDlogSyntaxError(SyntaxError):
+    """Raised on malformed DDlog source, with line/column context."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class TokenSpan:
+    """One token with its source position."""
+
+    kind: str           # IDENT NUMBER STRING PUNCT EOF
+    value: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(r"""
+      (?P<comment>\#[^\n]*|//[^\n]*)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<number>-?\d+\.\d+|-?\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<punct>:-|=>|<=|>=|==|!=|[().,\[\]=<>?!&|@])
+    | (?P<ws>[ \t\r\n]+)
+    | (?P<bad>.)
+""", re.VERBOSE)
+
+
+def lex(source: str) -> list[TokenSpan]:
+    """Tokenize ``source``; comments and whitespace are dropped."""
+    tokens: list[TokenSpan] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("ws", "comment"):
+            pass
+        elif kind == "string":
+            tokens.append(TokenSpan("STRING", text[1:-1].replace('\\"', '"'), line, column))
+        elif kind == "number":
+            tokens.append(TokenSpan("NUMBER", text, line, column))
+        elif kind == "ident":
+            tokens.append(TokenSpan("IDENT", text, line, column))
+        elif kind == "punct":
+            tokens.append(TokenSpan("PUNCT", text, line, column))
+        else:
+            raise DDlogSyntaxError(f"unexpected character {text!r}", line, column)
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rindex("\n") + 1
+    tokens.append(TokenSpan("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,243 @@
+"""Recursive-descent parser for the DDlog-like language.
+
+Produces a :class:`~repro.ddlog.ast.ProgramAst`.  Rule classification (into
+derivation / feature / supervision / inference) happens here, using the
+declarations seen so far; full semantic checking lives in
+:mod:`repro.ddlog.validate`.
+"""
+
+from __future__ import annotations
+
+from repro.ddlog.ast import (BodyItem, Comparison, Const, Declaration,
+                             FixedWeight, HeadConnective, PerRuleWeight,
+                             ProgramAst, RelationAtom, Rule, RuleKind, Term,
+                             UdfBinding, UdfCondition, UdfWeight, Var,
+                             VarWeight, WeightSpec)
+from repro.ddlog.lexer import DDlogSyntaxError, TokenSpan, lex
+
+_COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_CONNECTIVES = {"=>": HeadConnective.IMPLY, "&": HeadConnective.AND,
+                "|": HeadConnective.OR, "=": HeadConnective.EQUAL}
+EVIDENCE_SUFFIX = "_Ev"
+
+
+def parse_program(source: str) -> ProgramAst:
+    """Parse DDlog ``source`` into an AST."""
+    return _Parser(lex(source), source).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[TokenSpan], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+        self._declared: dict[str, Declaration] = {}
+
+    # ------------------------------------------------------------- utilities
+    def _peek(self, ahead: int = 0) -> TokenSpan:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> TokenSpan:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> DDlogSyntaxError:
+        token = self._peek()
+        return DDlogSyntaxError(f"{message} (found {token.value!r})", token.line, token.column)
+
+    def _expect(self, kind: str, value: str | None = None) -> TokenSpan:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise self._error(f"expected {want!r}")
+        return self._advance()
+
+    def _match(self, kind: str, value: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            self._advance()
+            return True
+        return False
+
+    # --------------------------------------------------------------- program
+    def parse_program(self) -> ProgramAst:
+        program = ProgramAst()
+        while self._peek().kind != "EOF":
+            if self._is_declaration():
+                declaration = self._parse_declaration()
+                program.declarations.append(declaration)
+                self._declared[declaration.name] = declaration
+            else:
+                program.rules.append(self._parse_rule())
+        return program
+
+    def _is_declaration(self) -> bool:
+        """IDENT '?'? '(' IDENT IDENT  is a declaration; rules have one term
+        per position."""
+        if self._peek().kind != "IDENT":
+            return False
+        offset = 1
+        if self._peek(offset).value == "?":
+            offset += 1
+        if self._peek(offset).value != "(":
+            return False
+        return (self._peek(offset + 1).kind == "IDENT"
+                and self._peek(offset + 2).kind == "IDENT")
+
+    def _parse_declaration(self) -> Declaration:
+        name = self._expect("IDENT").value
+        is_variable = self._match("PUNCT", "?")
+        self._expect("PUNCT", "(")
+        columns: list[tuple[str, str]] = []
+        while True:
+            column = self._expect("IDENT").value
+            type_name = self._expect("IDENT").value
+            columns.append((column, type_name))
+            if not self._match("PUNCT", ","):
+                break
+        self._expect("PUNCT", ")")
+        self._expect("PUNCT", ".")
+        return Declaration(name, tuple(columns), is_variable)
+
+    # ------------------------------------------------------------------ rules
+    def _parse_rule(self) -> Rule:
+        start = self._pos
+        heads = [self._parse_head_atom()]
+        connective: HeadConnective | None = None
+        while self._peek().kind == "PUNCT" and self._peek().value in _CONNECTIVES:
+            op = _CONNECTIVES[self._advance().value]
+            if connective is not None and op != connective:
+                raise self._error("mixed connectives in rule head")
+            connective = op
+            heads.append(self._parse_head_atom())
+
+        self._expect("PUNCT", ":-")
+        body: list[BodyItem] = [self._parse_body_item()]
+        while self._match("PUNCT", ","):
+            body.append(self._parse_body_item())
+
+        weight: WeightSpec | None = None
+        if self._peek().kind == "IDENT" and self._peek().value == "weight":
+            self._advance()
+            self._expect("PUNCT", "=")
+            weight = self._parse_weight()
+        self._expect("PUNCT", ".")
+        text = self._slice_source(start)
+        return Rule(kind=self._classify(heads, connective, weight),
+                    heads=tuple(heads), connective=connective,
+                    body=tuple(body), weight=weight, text=text)
+
+    def _classify(self, heads: list[RelationAtom], connective: HeadConnective | None,
+                  weight: WeightSpec | None) -> RuleKind:
+        if len(heads) > 1:
+            return RuleKind.INFERENCE
+        head = heads[0]
+        if head.relation.endswith(EVIDENCE_SUFFIX):
+            return RuleKind.SUPERVISION
+        declaration = self._declared.get(head.relation)
+        if declaration is not None and declaration.is_variable:
+            return RuleKind.FEATURE
+        if weight is not None:
+            # weight on an undeclared head: treat as feature, validation will
+            # demand the declaration
+            return RuleKind.FEATURE
+        return RuleKind.DERIVATION
+
+    def _parse_head_atom(self) -> RelationAtom:
+        negated = self._match("PUNCT", "!")
+        atom = self._parse_relation_atom()
+        return RelationAtom(atom.relation, atom.terms, negated=negated)
+
+    # ------------------------------------------------------------------- body
+    def _parse_body_item(self) -> BodyItem:
+        if self._peek().value == "[":
+            return self._parse_condition()
+        # lookahead for UDF binding:  IDENT '=' IDENT '('
+        if (self._peek().kind == "IDENT" and self._peek(1).value == "="
+                and self._peek(2).kind == "IDENT" and self._peek(3).value == "("):
+            target = self._advance().value
+            self._advance()  # '='
+            udf = self._advance().value
+            args = self._parse_paren_terms()
+            return UdfBinding(target, udf, args)
+        return self._parse_relation_atom()
+
+    def _parse_condition(self) -> BodyItem:
+        self._expect("PUNCT", "[")
+        negated = self._match("PUNCT", "!")
+        if self._peek().kind == "IDENT" and self._peek(1).value == "(":
+            udf = self._advance().value
+            args = self._parse_paren_terms()
+            self._expect("PUNCT", "]")
+            return UdfCondition(udf, args, negated=negated)
+        if negated:
+            raise self._error("'!' in conditions only applies to UDF filters")
+        left = self._parse_term()
+        op_token = self._advance()
+        if op_token.value not in _COMPARISON_OPS:
+            raise self._error(f"expected comparison operator, found {op_token.value!r}")
+        right = self._parse_term()
+        self._expect("PUNCT", "]")
+        return Comparison(op_token.value, left, right)
+
+    def _parse_relation_atom(self) -> RelationAtom:
+        name = self._expect("IDENT").value
+        terms = self._parse_paren_terms()
+        return RelationAtom(name, terms)
+
+    def _parse_paren_terms(self) -> tuple[Term, ...]:
+        self._expect("PUNCT", "(")
+        terms: list[Term] = []
+        if self._peek().value != ")":
+            terms.append(self._parse_term())
+            while self._match("PUNCT", ","):
+                terms.append(self._parse_term())
+        self._expect("PUNCT", ")")
+        return tuple(terms)
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            if token.value == "true":
+                return Const(True)
+            if token.value == "false":
+                return Const(False)
+            return Var(token.value)
+        if token.kind == "NUMBER":
+            self._advance()
+            return Const(float(token.value) if "." in token.value else int(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            return Const(token.value)
+        raise self._error("expected a term")
+
+    # ---------------------------------------------------------------- weights
+    def _parse_weight(self) -> WeightSpec:
+        token = self._peek()
+        if token.value == "?":
+            self._advance()
+            return PerRuleWeight()
+        if token.kind == "NUMBER":
+            self._advance()
+            return FixedWeight(float(token.value))
+        if token.kind == "IDENT":
+            name = self._advance().value
+            if self._peek().value == "(":
+                args = self._parse_paren_terms()
+                return UdfWeight(name, args)
+            return VarWeight(name)
+        raise self._error("expected weight specification")
+
+    # ------------------------------------------------------------- source text
+    def _slice_source(self, start_pos: int) -> str:
+        start_token = self._tokens[start_pos]
+        end_token = self._tokens[self._pos - 1]
+        lines = self._source.split("\n")
+        if start_token.line == end_token.line:
+            return lines[start_token.line - 1][start_token.column - 1:].strip()
+        chunk = [lines[start_token.line - 1][start_token.column - 1:]]
+        chunk.extend(lines[start_token.line:end_token.line])
+        return " ".join(piece.strip() for piece in chunk).strip()

@@ -1,0 +1,175 @@
+"""Semantic validation of parsed DDlog programs.
+
+Catches the errors the paper's engineers hit in practice: unbound head
+variables, undeclared relations, arity mismatches, missing weight clauses,
+and malformed evidence relations -- before any grounding work starts.
+"""
+
+from __future__ import annotations
+
+from repro.ddlog.ast import (Comparison, Const, Declaration, ProgramAst,
+                             RelationAtom, Rule, RuleKind, UdfBinding,
+                             UdfCondition, UdfWeight, Var, VarWeight)
+from repro.ddlog.parser import EVIDENCE_SUFFIX
+
+_VALID_TYPES = {"text", "int", "float", "bool", "array"}
+
+
+class DDlogValidationError(ValueError):
+    """A semantic error in a DDlog program."""
+
+
+def validate_program(program: ProgramAst, udfs: set[str] | None = None) -> None:
+    """Validate ``program``; raise :class:`DDlogValidationError` on problems.
+
+    ``udfs`` is the set of registered UDF names; pass ``None`` to skip the
+    registration check (used when validating before UDFs are attached).
+    """
+    declarations = {d.name: d for d in program.declarations}
+    _check_declarations(program.declarations)
+    for rule in program.rules:
+        _check_rule(rule, declarations, udfs)
+
+
+def evidence_base(name: str) -> str | None:
+    """The variable relation an ``_Ev`` relation supervises, or None."""
+    if name.endswith(EVIDENCE_SUFFIX):
+        return name[:-len(EVIDENCE_SUFFIX)]
+    return None
+
+
+def _check_declarations(declarations: list[Declaration]) -> None:
+    seen: set[str] = set()
+    for decl in declarations:
+        if decl.name in seen:
+            raise DDlogValidationError(f"relation {decl.name!r} declared twice")
+        seen.add(decl.name)
+        if not decl.columns:
+            raise DDlogValidationError(f"relation {decl.name!r} has no columns")
+        for column, type_name in decl.columns:
+            if type_name not in _VALID_TYPES:
+                raise DDlogValidationError(
+                    f"relation {decl.name!r}: unknown type {type_name!r} for "
+                    f"column {column!r} (valid: {sorted(_VALID_TYPES)})")
+        names = [c for c, _ in decl.columns]
+        if len(set(names)) != len(names):
+            raise DDlogValidationError(f"relation {decl.name!r} has duplicate columns")
+
+
+def _check_rule(rule: Rule, declarations: dict[str, Declaration],
+                udfs: set[str] | None) -> None:
+    where = f"in rule {rule.text!r}"
+    bound = _bound_variables(rule, declarations, udfs, where)
+
+    for head in rule.heads:
+        _check_head_atom(rule, head, declarations, bound, where)
+
+    if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE):
+        if rule.weight is None:
+            raise DDlogValidationError(f"{rule.kind.value} rule needs a weight clause {where}")
+        if isinstance(rule.weight, UdfWeight):
+            _check_udf(rule.weight.udf, udfs, where)
+            for arg in rule.weight.args:
+                if isinstance(arg, Var) and arg.name not in bound:
+                    raise DDlogValidationError(
+                        f"weight UDF argument {arg.name!r} is unbound {where}")
+        if isinstance(rule.weight, VarWeight) and rule.weight.var not in bound:
+            raise DDlogValidationError(
+                f"weight variable {rule.weight.var!r} is unbound {where}")
+    elif rule.weight is not None:
+        raise DDlogValidationError(
+            f"{rule.kind.value} rule cannot have a weight clause {where}")
+
+    if rule.kind == RuleKind.INFERENCE:
+        if rule.connective is None:
+            raise DDlogValidationError(f"inference rule needs a connective {where}")
+        if rule.connective.value == "=" and len(rule.heads) != 2:
+            raise DDlogValidationError(f"'=' connective takes exactly two heads {where}")
+    else:
+        for head in rule.heads:
+            if head.negated:
+                raise DDlogValidationError(
+                    f"negated head only allowed in inference rules {where}")
+
+
+def _bound_variables(rule: Rule, declarations: dict[str, Declaration],
+                     udfs: set[str] | None, where: str) -> set[str]:
+    """Walk the body in order, checking boundness and returning bound vars."""
+    bound: set[str] = set()
+    for item in rule.body:
+        if isinstance(item, RelationAtom):
+            decl = declarations.get(item.relation)
+            if decl is None:
+                raise DDlogValidationError(
+                    f"undeclared relation {item.relation!r} {where}")
+            if len(item.terms) != decl.arity:
+                raise DDlogValidationError(
+                    f"{item.relation} used with arity {len(item.terms)}, "
+                    f"declared {decl.arity} {where}")
+            bound.update(item.variables())
+        elif isinstance(item, UdfBinding):
+            _check_udf(item.udf, udfs, where)
+            for arg in item.args:
+                if isinstance(arg, Var) and arg.name not in bound:
+                    raise DDlogValidationError(
+                        f"UDF argument {arg.name!r} used before binding {where}")
+            bound.add(item.target)
+        elif isinstance(item, Comparison):
+            for term in (item.left, item.right):
+                if isinstance(term, Var) and term.name not in bound:
+                    raise DDlogValidationError(
+                        f"comparison variable {term.name!r} is unbound {where}")
+        elif isinstance(item, UdfCondition):
+            _check_udf(item.udf, udfs, where)
+            for arg in item.args:
+                if isinstance(arg, Var) and arg.name not in bound:
+                    raise DDlogValidationError(
+                        f"condition argument {arg.name!r} is unbound {where}")
+    if not any(isinstance(item, RelationAtom) for item in rule.body):
+        raise DDlogValidationError(f"rule body has no relation atom {where}")
+    return bound
+
+
+def _check_head_atom(rule: Rule, head: RelationAtom,
+                     declarations: dict[str, Declaration],
+                     bound: set[str], where: str) -> None:
+    base = evidence_base(head.relation)
+    if rule.kind == RuleKind.SUPERVISION and base is not None:
+        var_decl = declarations.get(base)
+        if var_decl is None or not var_decl.is_variable:
+            raise DDlogValidationError(
+                f"evidence relation {head.relation!r} needs a declared variable "
+                f"relation {base!r} {where}")
+        if len(head.terms) != var_decl.arity + 1:
+            raise DDlogValidationError(
+                f"evidence head {head.relation!r} must have arity "
+                f"{var_decl.arity + 1} (columns + label) {where}")
+        label = head.terms[-1]
+        if isinstance(label, Const) and not isinstance(label.value, bool):
+            raise DDlogValidationError(
+                f"evidence label must be true/false or a bound variable {where}")
+    else:
+        decl = declarations.get(head.relation)
+        if decl is None:
+            raise DDlogValidationError(f"undeclared head relation {head.relation!r} {where}")
+        if len(head.terms) != decl.arity:
+            raise DDlogValidationError(
+                f"head {head.relation} has arity {len(head.terms)}, declared "
+                f"{decl.arity} {where}")
+        if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE) and not decl.is_variable:
+            raise DDlogValidationError(
+                f"{rule.kind.value} rule head {head.relation!r} must be a "
+                f"variable relation (declare with '?') {where}")
+        if rule.kind == RuleKind.DERIVATION and decl.is_variable:
+            raise DDlogValidationError(
+                f"derivation rule cannot target variable relation "
+                f"{head.relation!r}; use a feature rule with a weight {where}")
+    for term in head.terms:
+        if isinstance(term, Var) and term.name not in bound:
+            raise DDlogValidationError(
+                f"head variable {term.name!r} is not bound in the body {where}")
+
+
+def _check_udf(name: str, udfs: set[str] | None, where: str) -> None:
+    if udfs is not None and name not in udfs:
+        raise DDlogValidationError(f"UDF {name!r} is not registered {where}")

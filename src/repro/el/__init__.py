@@ -1,0 +1,7 @@
+"""Entity linking: the EL substrate the paper's supervision rules consume."""
+
+from repro.el.linker import (AliasTable, EntityLinker, LinkCandidate,
+                             link_mentions, normalize)
+
+__all__ = ["AliasTable", "EntityLinker", "LinkCandidate", "link_mentions",
+           "normalize"]

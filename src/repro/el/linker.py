@@ -1,0 +1,140 @@
+"""Entity linking: mention strings -> knowledge-base entities.
+
+"The relation EL is for 'entity linking' that maps mentions to their
+candidate entities" (Section 3.2).  Real deployments link through alias
+tables (name variants, abbreviations) with fuzzy matching; this module
+implements that substrate:
+
+* :class:`AliasTable` -- entity -> alias strings, indexed for lookup;
+* :class:`EntityLinker` -- scores candidate entities for a mention via
+  exact, normalized, and token-overlap matching;
+* :func:`link_mentions` -- bulk-link a mention relation into an ``EL``
+  relation, the form DeepDive supervision rules consume.
+
+Ambiguity is preserved on purpose: a mention matching several entities
+yields several EL rows, and the downstream majority-vote evidence resolution
+(see :mod:`repro.grounding.grounder`) handles the resulting label conflicts
+-- the behaviour E10/E11's corpora exercise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+_NON_ALNUM = re.compile(r"[^a-z0-9 ]+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip punctuation, collapse whitespace."""
+    lowered = _NON_ALNUM.sub(" ", text.lower())
+    return " ".join(lowered.split())
+
+
+@dataclass(frozen=True)
+class LinkCandidate:
+    """One scored entity candidate for a mention."""
+
+    entity: str
+    score: float
+    method: str         # "exact" | "normalized" | "overlap"
+
+
+class AliasTable:
+    """Entity -> alias strings, with normalized lookup indexes."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, set[str]] = {}
+        self._exact: dict[str, set[str]] = {}
+        self._normalized: dict[str, set[str]] = {}
+        self._token_index: dict[str, set[str]] = {}
+
+    def add(self, entity: str, alias: str) -> None:
+        """Register ``alias`` as a name of ``entity``."""
+        self._aliases.setdefault(entity, set()).add(alias)
+        self._exact.setdefault(alias, set()).add(entity)
+        normalized_alias = normalize(alias)
+        self._normalized.setdefault(normalized_alias, set()).add(entity)
+        for token in normalized_alias.split():
+            self._token_index.setdefault(token, set()).add(entity)
+
+    def add_many(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Bulk form of :meth:`add` over (entity, alias) pairs."""
+        for entity, alias in pairs:
+            self.add(entity, alias)
+
+    def aliases_of(self, entity: str) -> set[str]:
+        return set(self._aliases.get(entity, ()))
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._aliases)
+
+    # used by the linker
+    def exact(self, text: str) -> set[str]:
+        return set(self._exact.get(text, ()))
+
+    def normalized_match(self, text: str) -> set[str]:
+        return set(self._normalized.get(normalize(text), ()))
+
+    def token_candidates(self, text: str) -> set[str]:
+        entities: set[str] = set()
+        for token in normalize(text).split():
+            entities |= self._token_index.get(token, set())
+        return entities
+
+
+class EntityLinker:
+    """Score entity candidates for mention strings against an alias table."""
+
+    def __init__(self, aliases: AliasTable, min_overlap: float = 0.5) -> None:
+        self.aliases = aliases
+        self.min_overlap = min_overlap
+
+    def link(self, mention_text: str, top: int | None = None) -> list[LinkCandidate]:
+        """Ranked entity candidates for ``mention_text``.
+
+        Exact alias matches score 1.0; case/punctuation-normalized matches
+        0.9; token-overlap (Jaccard over normalized tokens) matches score
+        ``0.8 * jaccard`` when above ``min_overlap``.
+        """
+        results: dict[str, LinkCandidate] = {}
+        for entity in self.aliases.exact(mention_text):
+            results[entity] = LinkCandidate(entity, 1.0, "exact")
+        for entity in self.aliases.normalized_match(mention_text):
+            if entity not in results:
+                results[entity] = LinkCandidate(entity, 0.9, "normalized")
+        mention_tokens = set(normalize(mention_text).split())
+        if mention_tokens:
+            for entity in self.aliases.token_candidates(mention_text):
+                if entity in results:
+                    continue
+                best = 0.0
+                for alias in self.aliases.aliases_of(entity):
+                    alias_tokens = set(normalize(alias).split())
+                    union = mention_tokens | alias_tokens
+                    if not union:
+                        continue
+                    jaccard = len(mention_tokens & alias_tokens) / len(union)
+                    best = max(best, jaccard)
+                if best >= self.min_overlap:
+                    results[entity] = LinkCandidate(entity, 0.8 * best, "overlap")
+        ranked = sorted(results.values(), key=lambda c: (-c.score, c.entity))
+        return ranked[:top] if top is not None else ranked
+
+
+def link_mentions(mentions: Iterable[tuple[str, str]], linker: EntityLinker,
+                  min_score: float = 0.4, top: int | None = None,
+                  ) -> list[tuple[str, str]]:
+    """Bulk linking: (mention_id, text) pairs -> EL rows (mention_id, entity).
+
+    Mentions with several strong candidates produce several rows (entity
+    ambiguity is downstream's problem, by design).
+    """
+    rows: list[tuple[str, str]] = []
+    for mention_id, text in mentions:
+        for candidate in linker.link(text, top=top):
+            if candidate.score >= min_score:
+                rows.append((mention_id, candidate.entity))
+    return rows

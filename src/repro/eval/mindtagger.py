@@ -1,0 +1,87 @@
+"""Mindtagger-lite: a programmatic annotation session (paper ref. [45]).
+
+DeepDive ships Mindtagger, a GUI for marking sampled extractions as correct
+or incorrect during error analysis.  This is the same workflow as a library:
+a seeded sample of items is served one at a time; marks are collected and
+summarized.  Benchmarks drive it with an oracle; an interactive caller can
+drive it from a REPL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TaggingSummary:
+    """Outcome of a finished (or in-progress) session."""
+
+    total: int
+    marked: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.marked if self.marked else float("nan")
+
+    @property
+    def complete(self) -> bool:
+        return self.marked == self.total
+
+
+class MindtaggerSession:
+    """Serve a sample of items for correct/incorrect marking."""
+
+    def __init__(self, items: Iterable[Hashable], sample_size: int = 100,
+                 seed: int = 0) -> None:
+        pool: Sequence[Hashable] = sorted(set(items), key=repr)
+        rng = np.random.default_rng(seed)
+        if len(pool) > sample_size:
+            chosen = rng.choice(len(pool), size=sample_size, replace=False)
+            self._items = [pool[i] for i in sorted(chosen)]
+        else:
+            self._items = list(pool)
+        self._marks: dict[Hashable, bool] = {}
+        self._tags: dict[Hashable, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def pending(self) -> list[Hashable]:
+        """Items not yet marked, in serving order."""
+        return [item for item in self._items if item not in self._marks]
+
+    def next_item(self) -> Hashable | None:
+        pending = self.pending()
+        return pending[0] if pending else None
+
+    def mark(self, item: Hashable, correct: bool, tag: str = "") -> None:
+        """Record a judgment (and optional failure-mode tag) for ``item``."""
+        if item not in self._items:
+            raise KeyError(f"{item!r} is not part of this session")
+        self._marks[item] = bool(correct)
+        if tag:
+            self._tags[item] = tag
+
+    def run_with_oracle(self, oracle: Callable[[Hashable], bool],
+                        tagger: Callable[[Hashable], str] | None = None) -> None:
+        """Mark every pending item using ``oracle`` (benchmark mode)."""
+        for item in self.pending():
+            tag = tagger(item) if tagger and not oracle(item) else ""
+            self.mark(item, oracle(item), tag)
+
+    def marks(self) -> dict[Hashable, bool]:
+        return dict(self._marks)
+
+    def tags(self) -> dict[Hashable, str]:
+        return dict(self._tags)
+
+    def summary(self) -> TaggingSummary:
+        return TaggingSummary(
+            total=len(self._items),
+            marked=len(self._marks),
+            correct=sum(self._marks.values()),
+        )

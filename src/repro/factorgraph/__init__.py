@@ -1,0 +1,23 @@
+"""Factor graph data structures: mutable build-time graph and the compiled
+DimmWitted-style CSR snapshot used for sampling and learning."""
+
+from repro.factorgraph.compiled import CompiledGraph
+from repro.factorgraph.factor_functions import FactorFunction, evaluate
+from repro.factorgraph.graph import (Factor, FactorGraph, GraphError, Variable,
+                                     Weight)
+from repro.factorgraph.serialize import dumps, from_dict, loads, to_dict
+
+__all__ = [
+    "CompiledGraph",
+    "Factor",
+    "FactorFunction",
+    "FactorGraph",
+    "GraphError",
+    "Variable",
+    "Weight",
+    "dumps",
+    "evaluate",
+    "from_dict",
+    "loads",
+    "to_dict",
+]

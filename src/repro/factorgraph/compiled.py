@@ -1,0 +1,203 @@
+"""DimmWitted-style compiled factor graph.
+
+DimmWitted "models Gibbs sampling as a column-to-row access operation: each
+row corresponds to one factor, each column to one variable, and the non-zero
+elements in the matrix correspond to edges in the factor graph.  To process
+one variable, DimmWitted fetches one column of the matrix to get the set of
+factors, and other columns to get the set of variables that connect to the
+same factor" (Section 4.2).
+
+:class:`CompiledGraph` is that matrix in CSR form, as flat numpy arrays:
+
+* column access: ``vf_indptr`` / ``vf_factors`` -- the non-unary factors
+  incident on each variable;
+* row access: ``fv_indptr`` / ``fv_vars`` / ``fv_negated`` -- the variables
+  (with literal polarity) of each non-unary factor.
+
+Unary (``IS_TRUE``) factors -- the bulk of any KBC graph, one per feature
+grounding -- are split out into dedicated parallel arrays so that their
+contribution to every variable's conditional can be recomputed for the whole
+graph with two vectorized operations per sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.factorgraph.factor_functions import FactorFunction
+from repro.factorgraph.graph import FactorGraph
+
+
+class CompiledGraph:
+    """Flat-array snapshot of a :class:`FactorGraph`, ready for sampling."""
+
+    def __init__(self, graph: FactorGraph) -> None:
+        self.num_variables = graph.num_variables
+        var_ids = sorted(graph.variables)
+        self._var_index = {var_id: i for i, var_id in enumerate(var_ids)}
+        self.var_keys: list[Hashable] = [graph.variables[v].key for v in var_ids]
+
+        self.is_evidence = np.zeros(self.num_variables, dtype=bool)
+        self.evidence_values = np.zeros(self.num_variables, dtype=bool)
+        self.initial_values = np.zeros(self.num_variables, dtype=bool)
+        for var_id in var_ids:
+            variable = graph.variables[var_id]
+            i = self._var_index[var_id]
+            self.initial_values[i] = variable.initial
+            if variable.evidence is not None:
+                self.is_evidence[i] = True
+                self.evidence_values[i] = variable.evidence
+
+        weight_ids = sorted(graph.weights)
+        self._weight_index = {w: i for i, w in enumerate(weight_ids)}
+        self.num_weights = len(weight_ids)
+        self.weight_keys: list[Hashable] = [graph.weights[w].key for w in weight_ids]
+        self.weight_values = np.array(
+            [graph.weights[w].value for w in weight_ids], dtype=np.float64)
+        self.weight_fixed = np.array(
+            [graph.weights[w].fixed for w in weight_ids], dtype=bool)
+        self.weight_observations = np.array(
+            [graph.weights[w].observations for w in weight_ids], dtype=np.int64)
+
+        # ---- split factors into unary IS_TRUE vs general --------------------
+        unary_var, unary_weight, unary_sign = [], [], []
+        general = []
+        for factor in graph.factors.values():
+            if factor.function == FactorFunction.IS_TRUE:
+                unary_var.append(self._var_index[factor.var_ids[0]])
+                unary_weight.append(self._weight_index[factor.weight_id])
+                unary_sign.append(-1.0 if factor.negated[0] else 1.0)
+            else:
+                general.append(factor)
+        self.unary_var = np.array(unary_var, dtype=np.int64)
+        self.unary_weight = np.array(unary_weight, dtype=np.int64)
+        self.unary_sign = np.array(unary_sign, dtype=np.float64)
+        self.num_unary = len(unary_var)
+
+        # ---- general factors in row-CSR form --------------------------------
+        self.num_general = len(general)
+        self.general_function = np.array([f.function for f in general], dtype=np.int8)
+        self.general_weight = np.array(
+            [self._weight_index[f.weight_id] for f in general], dtype=np.int64)
+        fv_indptr = [0]
+        fv_vars: list[int] = []
+        fv_negated: list[bool] = []
+        for factor in general:
+            fv_vars.extend(self._var_index[v] for v in factor.var_ids)
+            fv_negated.extend(factor.negated)
+            fv_indptr.append(len(fv_vars))
+        self.fv_indptr = np.array(fv_indptr, dtype=np.int64)
+        self.fv_vars = np.array(fv_vars, dtype=np.int64)
+        self.fv_negated = np.array(fv_negated, dtype=bool)
+
+        # ---- column CSR: variable -> incident general factors ---------------
+        counts = np.zeros(self.num_variables + 1, dtype=np.int64)
+        for v in self.fv_vars:
+            counts[v + 1] += 1
+        self.vf_indptr = np.cumsum(counts)
+        self.vf_factors = np.zeros(len(self.fv_vars), dtype=np.int64)
+        cursor = self.vf_indptr[:-1].copy()
+        for fi in range(self.num_general):
+            for v in self.fv_vars[self.fv_indptr[fi]:self.fv_indptr[fi + 1]]:
+                self.vf_factors[cursor[v]] = fi
+                cursor[v] += 1
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_factors(self) -> int:
+        return self.num_unary + self.num_general
+
+    def variable_index(self, key: Hashable) -> int:
+        """Compiled index of the variable with ``key``."""
+        return self.var_keys.index(key)  # only used in tests / small graphs
+
+    # ------------------------------------------------------------- unary pass
+    def unary_deltas(self) -> np.ndarray:
+        """Per-variable sum of unary-factor log-weight deltas.
+
+        For an ``IS_TRUE`` factor over a positive literal, flipping the
+        variable 0 -> 1 changes the factor value by +1 (so contributes ``+w``);
+        for a negated literal, by -1 (``-w``).  Independent of the current
+        assignment, so it is recomputed only when weights change.
+        """
+        deltas = np.zeros(self.num_variables, dtype=np.float64)
+        if self.num_unary:
+            np.add.at(deltas, self.unary_var,
+                      self.unary_sign * self.weight_values[self.unary_weight])
+        return deltas
+
+    def unary_value_sums(self, assignment: np.ndarray) -> np.ndarray:
+        """Per-weight sum of unary factor values under ``assignment``.
+
+        Used by the learner: the gradient of the log-likelihood w.r.t. a tied
+        weight is the difference of this quantity between the evidence-clamped
+        and free chains.
+        """
+        sums = np.zeros(self.num_weights, dtype=np.float64)
+        if self.num_unary:
+            literal = assignment[self.unary_var] ^ (self.unary_sign < 0)
+            np.add.at(sums, self.unary_weight, literal.astype(np.float64))
+        return sums
+
+    # --------------------------------------------------------- general factors
+    def general_factor_value(self, fi: int, assignment: np.ndarray) -> int:
+        """Value of general factor ``fi`` under ``assignment``."""
+        lo, hi = self.fv_indptr[fi], self.fv_indptr[fi + 1]
+        literals = assignment[self.fv_vars[lo:hi]] ^ self.fv_negated[lo:hi]
+        function = self.general_function[fi]
+        if function == FactorFunction.IMPLY:
+            return int((not bool(literals[:-1].all())) or bool(literals[-1]))
+        if function == FactorFunction.AND:
+            return int(bool(literals.all()))
+        if function == FactorFunction.OR:
+            return int(bool(literals.any()))
+        if function == FactorFunction.EQUAL:
+            return int(bool(literals[0]) == bool(literals[1]))
+        raise ValueError(f"unexpected general factor function {function}")
+
+    def general_value_sums(self, assignment: np.ndarray) -> np.ndarray:
+        """Per-weight sum of general factor values under ``assignment``."""
+        sums = np.zeros(self.num_weights, dtype=np.float64)
+        for fi in range(self.num_general):
+            sums[self.general_weight[fi]] += self.general_factor_value(fi, assignment)
+        return sums
+
+    def general_delta(self, var: int, assignment: np.ndarray) -> float:
+        """Log-weight delta of flipping ``var`` 0 -> 1 over its general factors."""
+        delta = 0.0
+        for slot in range(self.vf_indptr[var], self.vf_indptr[var + 1]):
+            fi = self.vf_factors[slot]
+            lo, hi = self.fv_indptr[fi], self.fv_indptr[fi + 1]
+            members = self.fv_vars[lo:hi]
+            literals = assignment[members] ^ self.fv_negated[lo:hi]
+            position = int(np.nonzero(members == var)[0][0])
+            negated = self.fv_negated[lo + position]
+            literals[position] = not negated      # var = 1
+            value_true = _general_value(self.general_function[fi], literals)
+            literals[position] = negated          # var = 0
+            value_false = _general_value(self.general_function[fi], literals)
+            delta += self.weight_values[self.general_weight[fi]] * (value_true - value_false)
+        return delta
+
+    # ---------------------------------------------------------------- weights
+    def set_weights(self, values: np.ndarray) -> None:
+        self.weight_values[:] = values
+
+    def export_weights(self, graph: FactorGraph) -> None:
+        """Write learned weight values back into the mutable graph."""
+        for weight_id, index in self._weight_index.items():
+            graph.weights[weight_id].value = float(self.weight_values[index])
+
+
+def _general_value(function: int, literals: np.ndarray) -> int:
+    if function == FactorFunction.IMPLY:
+        return int((not bool(literals[:-1].all())) or bool(literals[-1]))
+    if function == FactorFunction.AND:
+        return int(bool(literals.all()))
+    if function == FactorFunction.OR:
+        return int(bool(literals.any()))
+    if function == FactorFunction.EQUAL:
+        return int(bool(literals[0]) == bool(literals[1]))
+    raise ValueError(f"unexpected general factor function {function}")

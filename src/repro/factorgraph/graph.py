@@ -1,0 +1,190 @@
+"""The mutable factor graph built during grounding.
+
+Grounding produces variables (one per candidate tuple), weights (one per
+feature value, *tied* across all factors grounded from the same feature --
+the paper's "weight tying"), and factors (one per rule grounding).  The
+structure supports removal, which incremental grounding uses when DRed
+reports that a tuple lost all its derivations.
+
+Evidence (from distant supervision) is recorded on variables; the learner
+clamps evidence variables, the marginal inference step treats every
+non-evidence variable as a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.factorgraph.factor_functions import FactorFunction, arity_constraint
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations."""
+
+
+@dataclass
+class Variable:
+    """One Boolean random variable (= one candidate tuple in the database)."""
+
+    var_id: int
+    key: Hashable                      # e.g. ("MarriedMentions", mention_pair)
+    evidence: bool | None = None       # None = query variable
+    initial: bool = False
+    factor_ids: set[int] = field(default_factory=set)
+
+
+@dataclass
+class Weight:
+    """A (possibly tied) factor weight.
+
+    ``key`` identifies the weight for tying: every factor whose rule+feature
+    evaluates to the same key shares this weight.  ``fixed`` weights are not
+    trained (used for hard correlation rules).  ``observations`` counts how
+    many groundings reference the weight -- the statistic the error-analysis
+    document surfaces so engineers can spot under-trained features.
+    """
+
+    weight_id: int
+    key: Hashable
+    value: float = 0.0
+    fixed: bool = False
+    observations: int = 0
+
+
+@dataclass
+class Factor:
+    """One grounded factor: a hyperedge over variables with a tied weight."""
+
+    factor_id: int
+    function: FactorFunction
+    var_ids: tuple[int, ...]
+    negated: tuple[bool, ...]
+    weight_id: int
+
+
+class FactorGraph:
+    """Mutable factor graph with stable integer ids and key-based dedup."""
+
+    def __init__(self) -> None:
+        self.variables: dict[int, Variable] = {}
+        self.factors: dict[int, Factor] = {}
+        self.weights: dict[int, Weight] = {}
+        self._var_by_key: dict[Hashable, int] = {}
+        self._weight_by_key: dict[Hashable, int] = {}
+        self._next_var = 0
+        self._next_factor = 0
+        self._next_weight = 0
+
+    # -------------------------------------------------------------- variables
+    def variable(self, key: Hashable, initial: bool = False) -> int:
+        """Return the id of the variable with ``key``, creating it if needed."""
+        var_id = self._var_by_key.get(key)
+        if var_id is None:
+            var_id = self._next_var
+            self._next_var += 1
+            self.variables[var_id] = Variable(var_id, key, initial=initial)
+            self._var_by_key[key] = var_id
+        return var_id
+
+    def has_variable(self, key: Hashable) -> bool:
+        return key in self._var_by_key
+
+    def variable_id(self, key: Hashable) -> int:
+        try:
+            return self._var_by_key[key]
+        except KeyError:
+            raise GraphError(f"no variable with key {key!r}") from None
+
+    def set_evidence(self, key: Hashable, value: bool | None) -> None:
+        """Mark the variable with ``key`` as evidence (or clear with None)."""
+        self.variables[self.variable_id(key)].evidence = value
+
+    def remove_variable(self, key: Hashable) -> None:
+        """Remove a variable and every factor attached to it."""
+        var_id = self.variable_id(key)
+        for factor_id in list(self.variables[var_id].factor_ids):
+            self.remove_factor(factor_id)
+        del self.variables[var_id]
+        del self._var_by_key[key]
+
+    # ---------------------------------------------------------------- weights
+    def weight(self, key: Hashable, initial_value: float = 0.0, fixed: bool = False) -> int:
+        """Return the id of the (tied) weight with ``key``, creating if needed."""
+        weight_id = self._weight_by_key.get(key)
+        if weight_id is None:
+            weight_id = self._next_weight
+            self._next_weight += 1
+            self.weights[weight_id] = Weight(weight_id, key, initial_value, fixed)
+            self._weight_by_key[key] = weight_id
+        return weight_id
+
+    def weight_by_key(self, key: Hashable) -> Weight:
+        try:
+            return self.weights[self._weight_by_key[key]]
+        except KeyError:
+            raise GraphError(f"no weight with key {key!r}") from None
+
+    # ---------------------------------------------------------------- factors
+    def add_factor(self, function: FactorFunction, var_ids: Sequence[int],
+                   weight_id: int, negated: Sequence[bool] | None = None) -> int:
+        """Add a factor over ``var_ids`` with ``weight_id``; returns its id."""
+        var_ids = tuple(var_ids)
+        if negated is None:
+            negated = (False,) * len(var_ids)
+        negated = tuple(negated)
+        if len(negated) != len(var_ids):
+            raise GraphError("negated mask length must match variable count")
+        lo, hi = arity_constraint(function)
+        if len(var_ids) < lo or (hi is not None and len(var_ids) > hi):
+            raise GraphError(f"{function.name} factor cannot have arity {len(var_ids)}")
+        for var_id in var_ids:
+            if var_id not in self.variables:
+                raise GraphError(f"unknown variable id {var_id}")
+        if weight_id not in self.weights:
+            raise GraphError(f"unknown weight id {weight_id}")
+        factor_id = self._next_factor
+        self._next_factor += 1
+        self.factors[factor_id] = Factor(factor_id, function, var_ids, negated, weight_id)
+        for var_id in var_ids:
+            self.variables[var_id].factor_ids.add(factor_id)
+        self.weights[weight_id].observations += 1
+        return factor_id
+
+    def remove_factor(self, factor_id: int) -> None:
+        factor = self.factors.pop(factor_id)
+        for var_id in factor.var_ids:
+            variable = self.variables.get(var_id)
+            if variable is not None:
+                variable.factor_ids.discard(factor_id)
+        self.weights[factor.weight_id].observations -= 1
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.factors)
+
+    @property
+    def num_weights(self) -> int:
+        return len(self.weights)
+
+    def evidence_variables(self) -> Iterable[Variable]:
+        return (v for v in self.variables.values() if v.evidence is not None)
+
+    def query_variables(self) -> Iterable[Variable]:
+        return (v for v in self.variables.values() if v.evidence is None)
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics for execution-history logging."""
+        evidence = sum(1 for v in self.variables.values() if v.evidence is not None)
+        return {
+            "variables": self.num_variables,
+            "factors": self.num_factors,
+            "weights": self.num_weights,
+            "evidence": evidence,
+            "query": self.num_variables - evidence,
+        }

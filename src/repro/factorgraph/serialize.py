@@ -1,0 +1,93 @@
+"""Factor-graph serialization.
+
+DeepDive passes grounded factor graphs between the grounder (in the
+database) and the sampler (outside it); persisting the graph also lets the
+engineer archive each iteration's model next to its error-analysis document.
+The format is plain JSON-compatible dicts: keys are stringified, structure
+is versioned, and a round-trip is exact for every supported key type
+(strings, ints, and nested tuples thereof).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.factorgraph.factor_functions import FactorFunction
+from repro.factorgraph.graph import FactorGraph
+
+FORMAT_VERSION = 1
+
+
+def _encode_key(key: Any) -> Any:
+    """Encode a variable/weight key into JSON-safe structure."""
+    if isinstance(key, tuple):
+        return {"t": [_encode_key(k) for k in key]}
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    raise TypeError(f"cannot serialize key of type {type(key).__name__}")
+
+
+def _decode_key(data: Any) -> Any:
+    if isinstance(data, dict) and set(data) == {"t"}:
+        return tuple(_decode_key(k) for k in data["t"])
+    return data
+
+
+def to_dict(graph: FactorGraph) -> dict:
+    """Serialize ``graph`` to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "variables": [
+            {"id": v.var_id, "key": _encode_key(v.key),
+             "evidence": v.evidence, "initial": v.initial}
+            for v in graph.variables.values()
+        ],
+        "weights": [
+            {"id": w.weight_id, "key": _encode_key(w.key), "value": w.value,
+             "fixed": w.fixed}
+            for w in graph.weights.values()
+        ],
+        "factors": [
+            {"function": int(f.function), "vars": list(f.var_ids),
+             "negated": list(f.negated), "weight": f.weight_id}
+            for f in graph.factors.values()
+        ],
+    }
+
+
+def from_dict(data: dict) -> FactorGraph:
+    """Reconstruct a graph serialized by :func:`to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported factor-graph format version "
+                         f"{data.get('version')!r}")
+    graph = FactorGraph()
+    id_map: dict[int, int] = {}
+    for item in data["variables"]:
+        new_id = graph.variable(_decode_key(item["key"]),
+                                initial=item["initial"])
+        graph.variables[new_id].evidence = item["evidence"]
+        id_map[item["id"]] = new_id
+    weight_map: dict[int, int] = {}
+    for item in data["weights"]:
+        new_id = graph.weight(_decode_key(item["key"]),
+                              initial_value=item["value"],
+                              fixed=item["fixed"])
+        weight_map[item["id"]] = new_id
+    for item in data["factors"]:
+        graph.add_factor(FactorFunction(item["function"]),
+                         [id_map[v] for v in item["vars"]],
+                         weight_map[item["weight"]],
+                         negated=item["negated"])
+    # add_factor increments observation counts; they now match the originals
+    return graph
+
+
+def dumps(graph: FactorGraph) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    return json.dumps(to_dict(graph))
+
+
+def loads(text: str) -> FactorGraph:
+    """Inverse of :func:`dumps`."""
+    return from_dict(json.loads(text))

@@ -1,0 +1,92 @@
+"""View expansion: rewrite rule plans to read only base relations.
+
+DRed maintenance in :mod:`repro.datastore.ivm` propagates base-relation
+deltas into views, but DDlog rules freely reference *derived* relations
+(candidate mappings feeding feature rules).  Because the rule set is
+non-recursive, we can inline every derived relation's defining plan into its
+consumers, producing for each rule a plan over base relations only -- after
+which a single DRed pass keeps everything consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.datastore.plan import (Extend, Join, Plan, Project, Rename, Scan,
+                                  Select, Union)
+from repro.ddlog.ast import ProgramAst, Rule, RuleKind
+from repro.ddlog.compiler import Udf, compile_body, head_projection
+
+
+class ExpansionError(ValueError):
+    """Raised on recursive rule sets, which this DDlog subset forbids."""
+
+
+def derived_relation_plans(program: ProgramAst, udfs: Mapping[str, Udf],
+                           ) -> dict[str, Plan]:
+    """Fully-expanded plan per derived relation (heads of derivation rules)."""
+    declarations = {d.name: d for d in program.declarations}
+    rules_by_head: dict[str, list[Rule]] = {}
+    for rule in program.rules:
+        if rule.kind == RuleKind.DERIVATION:
+            rules_by_head.setdefault(rule.head.relation, []).append(rule)
+
+    expanded: dict[str, Plan] = {}
+    in_progress: set[str] = set()
+
+    def expand_relation(name: str) -> Plan:
+        if name in expanded:
+            return expanded[name]
+        if name in in_progress:
+            raise ExpansionError(f"recursive derivation through relation {name!r}")
+        in_progress.add(name)
+        target_columns = tuple(c for c, _ in declarations[name].columns)
+        branches = []
+        for rule in rules_by_head[name]:
+            body = expand_plan(compile_body(rule, declarations, udfs))
+            branches.append(head_projection(rule, body, target_columns))
+        plan = branches[0] if len(branches) == 1 else Union(tuple(branches))
+        in_progress.discard(name)
+        expanded[name] = plan
+        return plan
+
+    def expand_plan(plan: Plan) -> Plan:
+        if isinstance(plan, Scan):
+            if plan.relation in rules_by_head:
+                return expand_relation(plan.relation)
+            return plan
+        if isinstance(plan, (Select, Project, Rename, Extend)):
+            return replace(plan, child=expand_plan(plan.child))
+        if isinstance(plan, Join):
+            return replace(plan, left=expand_plan(plan.left),
+                           right=expand_plan(plan.right))
+        if isinstance(plan, Union):
+            return replace(plan, children=tuple(expand_plan(c) for c in plan.children))
+        raise ExpansionError(f"cannot expand plan node {type(plan).__name__}")
+
+    for head in rules_by_head:
+        expand_relation(head)
+    return expanded
+
+
+def expanded_rule_body(rule: Rule, program: ProgramAst, udfs: Mapping[str, Udf],
+                       derived: Mapping[str, Plan]) -> Plan:
+    """The rule's body plan with all derived-relation scans inlined."""
+    declarations = {d.name: d for d in program.declarations}
+    plan = compile_body(rule, declarations, udfs)
+    return _substitute(plan, derived)
+
+
+def _substitute(plan: Plan, derived: Mapping[str, Plan]) -> Plan:
+    if isinstance(plan, Scan):
+        return derived.get(plan.relation, plan)
+    if isinstance(plan, (Select, Project, Rename, Extend)):
+        return replace(plan, child=_substitute(plan.child, derived))
+    if isinstance(plan, Join):
+        return replace(plan, left=_substitute(plan.left, derived),
+                       right=_substitute(plan.right, derived))
+    if isinstance(plan, Union):
+        return replace(plan, children=tuple(_substitute(c, derived)
+                                            for c in plan.children))
+    raise ExpansionError(f"cannot expand plan node {type(plan).__name__}")

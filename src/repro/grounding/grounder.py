@@ -1,0 +1,373 @@
+"""Grounding: translate DDlog rules + data into a factor graph.
+
+"Grounding takes place when DeepDive translates the set of relations and
+rules into a concrete factor graph upon which probabilistic inference is
+possible" (Section 4.1).  The grounder here is *always incremental* after its
+initial load, exactly as the paper prescribes: every rule body is a
+DRed-maintained materialized view, and base-relation change batches patch the
+factor graph through view deltas instead of re-grounding.
+
+Responsibilities:
+
+* run candidate-mapping (derivation) rules and keep their output relations in
+  sync with the database;
+* ground feature rules into tied-weight ``IS_TRUE`` factors;
+* ground inference rules into ``IMPLY``/``AND``/``OR``/``EQUAL`` factors;
+* resolve distant-supervision evidence (``_Ev`` relations) onto variables,
+  with majority-vote conflict resolution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.datastore import Database
+from repro.datastore.relation import Row
+from repro.ddlog.ast import (FixedWeight, HeadConnective, PerRuleWeight, Rule,
+                             RuleKind, UdfWeight, Var, VarWeight)
+from repro.ddlog.program import DDlogProgram
+from repro.ddlog.validate import evidence_base
+from repro.factorgraph import FactorFunction, FactorGraph
+from repro.grounding.expansion import derived_relation_plans, expanded_rule_body
+
+_CONNECTIVE_FUNCTIONS = {
+    HeadConnective.IMPLY: FactorFunction.IMPLY,
+    HeadConnective.AND: FactorFunction.AND,
+    HeadConnective.OR: FactorFunction.OR,
+    HeadConnective.EQUAL: FactorFunction.EQUAL,
+}
+
+
+class GroundingError(ValueError):
+    """Raised for grounding-time inconsistencies."""
+
+
+@dataclass
+class GroundingDelta:
+    """Summary of one incremental grounding round (the paper's dV and dF).
+
+    ``touched_keys`` lists the variable keys whose factors or evidence
+    changed -- the seed set for incremental inference (Section 4.2).
+    """
+
+    factors_added: int = 0
+    factors_removed: int = 0
+    variables_added: int = 0
+    variables_removed: int = 0
+    evidence_changed: int = 0
+    touched_keys: set = field(default_factory=set)
+
+    def merge(self, other: "GroundingDelta") -> None:
+        self.factors_added += other.factors_added
+        self.factors_removed += other.factors_removed
+        self.variables_added += other.variables_added
+        self.variables_removed += other.variables_removed
+        self.evidence_changed += other.evidence_changed
+        self.touched_keys |= other.touched_keys
+
+    @property
+    def total_changes(self) -> int:
+        return (self.factors_added + self.factors_removed
+                + self.variables_added + self.variables_removed
+                + self.evidence_changed)
+
+
+@dataclass
+class WeightProvenance:
+    """Where a weight came from, for the error-analysis document."""
+
+    rule_text: str
+    description: str
+    rule_index: int
+
+
+class Grounder:
+    """Incremental grounder over one program and one database.
+
+    Construction performs the initial load (full view materialization and
+    full grounding); :meth:`apply_changes` afterwards runs only DRed delta
+    rules.  The factor graph is available as :attr:`graph`.
+    """
+
+    def __init__(self, program: DDlogProgram, db: Database) -> None:
+        program.validate()
+        self.program = program
+        self.db = db
+        self.graph = FactorGraph()
+        self.weight_provenance: dict[Hashable, WeightProvenance] = {}
+
+        program.create_relations(db)
+        self._derived = derived_relation_plans(program.ast, program.udfs)
+        self._rules = list(program.ast.rules)
+        # (rule_index, body_row) -> factor ids grounded from that row
+        self._row_factors: dict[tuple[int, Row], list[int]] = {}
+        # var relation -> tuple -> label counter (distant supervision votes)
+        self._evidence_votes: dict[str, dict[Row, Counter]] = {}
+        self._view_rules: dict[str, int] = {}
+
+        self._define_views()
+        self._initial_load()
+
+    # ----------------------------------------------------------------- set-up
+    def _define_views(self) -> None:
+        views = self.db.views
+        for name, plan in self._derived.items():
+            views.define(f"derived::{name}", plan)
+        for index, rule in enumerate(self._rules):
+            if rule.kind == RuleKind.DERIVATION:
+                continue
+            plan = expanded_rule_body(rule, self.program.ast, self.program.udfs,
+                                      self._derived)
+            view_name = f"rule::{index}"
+            views.define(view_name, plan)
+            self._view_rules[view_name] = index
+
+    def _initial_load(self) -> None:
+        for name in self._derived:
+            relation = self.db[name]
+            relation.clear()
+            for row in self.db.views[f"derived::{name}"].visible():
+                relation.insert(row)
+        delta = GroundingDelta()
+        # Evidence first, so variables created by rule grounding see labels.
+        for view_name, index in self._view_rules.items():
+            if self._rules[index].kind == RuleKind.SUPERVISION:
+                rows = list(self.db.views[view_name].visible())
+                self._apply_supervision(index, appeared=rows, disappeared=[],
+                                        delta=delta)
+        for view_name, index in self._view_rules.items():
+            rule = self._rules[index]
+            if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE):
+                for row in self.db.views[view_name].visible():
+                    self._ground_row(index, row, delta)
+
+    # ----------------------------------------------------------- public API
+    def apply_changes(self, inserts: dict[str, list[Sequence[Any]]] | None = None,
+                      deletes: dict[str, list[Sequence[Any]]] | None = None,
+                      ) -> GroundingDelta:
+        """Apply base-relation changes and patch the factor graph via DRed."""
+        events = self.db.views.apply_changes(inserts=inserts, deletes=deletes)
+        delta = GroundingDelta()
+
+        for view_name, (appeared, disappeared) in events.items():
+            if view_name.startswith("derived::"):
+                relation = self.db[view_name.removeprefix("derived::")]
+                for row in appeared:
+                    relation.insert(row)
+                for row in disappeared:
+                    relation.delete(row)
+
+        supervision_events = []
+        rule_events = []
+        for view_name, event in events.items():
+            index = self._view_rules.get(view_name)
+            if index is None:
+                continue
+            if self._rules[index].kind == RuleKind.SUPERVISION:
+                supervision_events.append((index, event))
+            else:
+                rule_events.append((index, event))
+
+        for index, (appeared, disappeared) in supervision_events:
+            self._apply_supervision(index, appeared, disappeared, delta)
+        for index, (appeared, disappeared) in rule_events:
+            for row in disappeared:
+                self._unground_row(index, row, delta)
+            for row in appeared:
+                self._ground_row(index, row, delta)
+        return delta
+
+    def variable_marginal_keys(self) -> list[Hashable]:
+        """Keys of all current variables (relation name + tuple)."""
+        return [v.key for v in self.graph.variables.values()]
+
+    # ------------------------------------------------------------- grounding
+    def _ground_row(self, index: int, row: Row, delta: GroundingDelta) -> None:
+        rule = self._rules[index]
+        schema = self.db.views[f"rule::{index}"].schema
+        row_dict = schema.row_dict(row)
+        weight_ids = self._weights_for(index, rule, row_dict)
+        if not weight_ids:
+            return
+        factor_ids: list[int] = []
+        if rule.kind == RuleKind.FEATURE:
+            var_id, created = self._variable_for(rule.head.relation,
+                                                 self._head_tuple(rule, 0, row_dict))
+            if created:
+                delta.variables_added += 1
+            delta.touched_keys.add(self.graph.variables[var_id].key)
+            for weight_id in weight_ids:
+                factor_ids.append(self.graph.add_factor(
+                    FactorFunction.IS_TRUE, [var_id], weight_id))
+        else:  # INFERENCE
+            var_ids: list[int] = []
+            negated: list[bool] = []
+            for head_index, head in enumerate(rule.heads):
+                var_id, created = self._variable_for(
+                    head.relation, self._head_tuple(rule, head_index, row_dict))
+                if created:
+                    delta.variables_added += 1
+                delta.touched_keys.add(self.graph.variables[var_id].key)
+                var_ids.append(var_id)
+                negated.append(head.negated)
+            function = _CONNECTIVE_FUNCTIONS[rule.connective]
+            for weight_id in weight_ids:
+                factor_ids.append(self.graph.add_factor(
+                    function, var_ids, weight_id, negated=negated))
+        self._row_factors[(index, row)] = factor_ids
+        delta.factors_added += len(factor_ids)
+
+    def _unground_row(self, index: int, row: Row, delta: GroundingDelta) -> None:
+        factor_ids = self._row_factors.pop((index, row), None)
+        if not factor_ids:
+            return
+        touched_vars: set[int] = set()
+        for factor_id in factor_ids:
+            factor = self.graph.factors.get(factor_id)
+            if factor is None:
+                continue
+            touched_vars.update(factor.var_ids)
+            self.graph.remove_factor(factor_id)
+            delta.factors_removed += 1
+        for var_id in touched_vars:
+            variable = self.graph.variables.get(var_id)
+            if variable is not None:
+                delta.touched_keys.add(variable.key)
+        for var_id in touched_vars:
+            variable = self.graph.variables.get(var_id)
+            if variable is not None and not variable.factor_ids \
+                    and variable.evidence is None:
+                self._remove_variable_and_tuple(variable.key)
+                delta.variables_removed += 1
+
+    def _remove_variable_and_tuple(self, key: Hashable) -> None:
+        relation_name, values = key
+        self.graph.remove_variable(key)
+        relation = self.db[relation_name]
+        if relation.count(values):
+            relation.delete(values)
+
+    def _variable_for(self, relation_name: str, values: Row) -> tuple[int, bool]:
+        key = (relation_name, values)
+        created = not self.graph.has_variable(key)
+        var_id = self.graph.variable(key)
+        if created:
+            relation = self.db[relation_name]
+            if not relation.count(values):
+                relation.insert(values)
+            label = self._resolved_label(relation_name, values)
+            if label is not None:
+                self.graph.variables[var_id].evidence = label
+        return var_id, created
+
+    def _head_tuple(self, rule: Rule, head_index: int, row_dict: dict) -> Row:
+        head = rule.heads[head_index]
+        values = tuple(row_dict[t.name] if isinstance(t, Var) else t.value
+                       for t in head.terms)
+        schema = self.db[head.relation].schema
+        return schema.validate_row(values)
+
+    # --------------------------------------------------------------- weights
+    def _weights_for(self, index: int, rule: Rule, row_dict: dict) -> list[int]:
+        spec = rule.weight
+        if isinstance(spec, FixedWeight):
+            key = f"rule{index}:fixed"
+            weight_id = self.graph.weight(key, initial_value=spec.value, fixed=True)
+            self._note_weight(key, rule, index, "fixed")
+            return [weight_id]
+        if isinstance(spec, PerRuleWeight):
+            key = f"rule{index}:*"
+            weight_id = self.graph.weight(key)
+            self._note_weight(key, rule, index, "per-rule")
+            return [weight_id]
+        if isinstance(spec, VarWeight):
+            value = row_dict[spec.var]
+            key = f"rule{index}:{value}"
+            weight_id = self.graph.weight(key)
+            self._note_weight(key, rule, index, str(value))
+            return [weight_id]
+        if isinstance(spec, UdfWeight):
+            udf = self.program.udfs[spec.udf]
+            values = tuple(row_dict[a.name] if isinstance(a, Var) else a.value
+                           for a in spec.args)
+            try:
+                result = udf(*values)
+            except Exception as exc:        # noqa: BLE001 - rewrapped with context
+                from repro.ddlog.compiler import UdfError
+                raise UdfError(spec.udf, values, exc) from exc
+            if result is None:
+                return []
+            values = [result] if isinstance(result, (str, int, float, bool)) \
+                else list(result)
+            weight_ids = []
+            for value in values:
+                key = f"rule{index}:{value}"
+                weight_ids.append(self.graph.weight(key))
+                self._note_weight(key, rule, index, str(value))
+            return weight_ids
+        raise GroundingError(f"rule {index} has no weight specification")
+
+    def _note_weight(self, key: str, rule: Rule, index: int, description: str) -> None:
+        if key not in self.weight_provenance:
+            self.weight_provenance[key] = WeightProvenance(
+                rule_text=rule.text, description=description, rule_index=index)
+
+    # -------------------------------------------------------------- evidence
+    def _apply_supervision(self, index: int, appeared: Iterable[Row],
+                           disappeared: Iterable[Row],
+                           delta: GroundingDelta) -> None:
+        rule = self._rules[index]
+        relation_name = evidence_base(rule.head.relation)
+        schema = self.db.views[f"rule::{index}"].schema
+        evidence_relation = self.db[rule.head.relation]
+        votes = self._evidence_votes.setdefault(relation_name, {})
+        touched: set[Row] = set()
+        for row, direction in [(r, +1) for r in appeared] + \
+                              [(r, -1) for r in disappeared]:
+            row_dict = schema.row_dict(row)
+            head_values = self._head_tuple(rule, 0, row_dict)
+            values, label = head_values[:-1], bool(head_values[-1])
+            counter = votes.setdefault(values, Counter())
+            counter[label] += direction
+            touched.add(values)
+            if direction > 0:
+                evidence_relation.insert(head_values)
+            else:
+                evidence_relation.delete(head_values)
+        for values in touched:
+            self._refresh_evidence(relation_name, values, delta)
+
+    def _resolved_label(self, relation_name: str, values: Row) -> bool | None:
+        """Majority vote over distant-supervision labels; ties abstain."""
+        counter = self._evidence_votes.get(relation_name, {}).get(values)
+        if not counter:
+            return None
+        positive = counter.get(True, 0)
+        negative = counter.get(False, 0)
+        if positive > negative:
+            return True
+        if negative > positive:
+            return False
+        return None
+
+    def _refresh_evidence(self, relation_name: str, values: Row,
+                          delta: GroundingDelta) -> None:
+        key = (relation_name, values)
+        if not self.graph.has_variable(key):
+            return
+        variable = self.graph.variables[self.graph.variable_id(key)]
+        label = self._resolved_label(relation_name, values)
+        if variable.evidence != label:
+            variable.evidence = label
+            delta.evidence_changed += 1
+            delta.touched_keys.add(key)
+        if label is None and not variable.factor_ids:
+            self._remove_variable_and_tuple(key)
+            delta.variables_removed += 1
+
+
+def ground(program: DDlogProgram, db: Database) -> FactorGraph:
+    """One-shot convenience: ground ``program`` over ``db`` and return the graph."""
+    return Grounder(program, db).graph

@@ -1,0 +1,35 @@
+"""Statistical inference and learning: the DimmWitted-style engine.
+
+Gibbs sampling over compiled factor graphs, weight learning from evidence
+chains, and a simulated-NUMA execution layer reproducing the paper's
+hardware/statistical efficiency study.
+"""
+
+from repro.inference.diagnostics import (ConvergenceReport, check_convergence,
+                                          effective_samples, split_r_hat)
+from repro.inference.gibbs import GibbsSampler, MarginalResult, sigmoid
+from repro.inference.learning import (LearningDiagnostics, LearningOptions,
+                                      learn_weights)
+from repro.inference.map_inference import (AnnealedGibbs, MapResult,
+                                            map_inference, world_log_weight)
+from repro.inference.numa import NumaConfig, NumaGibbs, NumaRunResult
+
+__all__ = [
+    "ConvergenceReport",
+    "GibbsSampler",
+    "LearningDiagnostics",
+    "LearningOptions",
+    "MapResult",
+    "MarginalResult",
+    "NumaConfig",
+    "NumaGibbs",
+    "NumaRunResult",
+    "check_convergence",
+    "effective_samples",
+    "learn_weights",
+    "map_inference",
+    "split_r_hat",
+    "sigmoid",
+    "world_log_weight",
+    "AnnealedGibbs",
+]

@@ -1,0 +1,156 @@
+"""Simulated NUMA execution of Gibbs sampling (paper Section 4.2).
+
+The paper's machine has 4 sockets x 10 cores; DimmWitted's insight is the
+trade-off between *hardware efficiency* (avoid cross-socket traffic by giving
+every socket its own model replica) and *statistical efficiency* (replicas
+that never communicate converge slower; model averaging [Zinkevich et al.]
+recovers most of it).
+
+We do not have a NUMA machine, so we *simulate the memory system* with an
+explicit cost model while running the actual sampling work in-process:
+
+* every factor-graph edge touched during a sweep costs 1 time unit when the
+  model state it reads is socket-local;
+* it costs ``remote_penalty`` units when the state lives on another socket
+  (the measured local:remote latency ratio of the paper's hardware class,
+  default 3.5x);
+* sockets work in parallel, so wall-clock time per sweep is the max over
+  sockets of their per-socket cost;
+* a model-averaging synchronization costs one full cross-socket model copy.
+
+Two configurations reproduce the paper's comparison:
+
+* **NUMA-aware** (DimmWitted): per-socket model replicas, all accesses local,
+  averaged every ``sync_every`` sweeps.
+* **non-NUMA-aware**: one shared model; a socket's accesses are remote with
+  probability (sockets-1)/sockets (the model is interleaved across sockets).
+
+Statistical efficiency is *measured*, not modeled: replicas genuinely run
+independent chains on variable shards and genuinely average their marginal
+estimates, so slower convergence from infrequent averaging shows up in the
+returned marginal error exactly as it does on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.factorgraph.compiled import CompiledGraph
+from repro.inference.gibbs import GibbsSampler
+
+
+@dataclass(frozen=True)
+class NumaConfig:
+    """Topology and cost model of the simulated machine."""
+
+    sockets: int = 4
+    cores_per_socket: int = 10
+    remote_penalty: float = 3.5
+    sync_every: int = 1          # sweeps between model-averaging rounds
+    numa_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("need at least one socket")
+        if self.remote_penalty < 1.0:
+            raise ValueError("remote accesses cannot be cheaper than local")
+
+
+@dataclass
+class NumaRunResult:
+    """Outcome of a simulated run."""
+
+    marginals: np.ndarray                  # averaged across replicas
+    modeled_time: float                    # cost-model time units
+    samples_drawn: int                     # total variable samples
+    per_socket_cost: list[float] = field(default_factory=list)
+
+    @property
+    def modeled_throughput(self) -> float:
+        """Variable-samples per modeled time unit (higher is better)."""
+        return self.samples_drawn / self.modeled_time if self.modeled_time else 0.0
+
+
+class NumaGibbs:
+    """Run marginal inference under the simulated NUMA cost model."""
+
+    def __init__(self, compiled: CompiledGraph, config: NumaConfig, seed: int = 0) -> None:
+        self.compiled = compiled
+        self.config = config
+        self.seed = seed
+        # Each edge touched during a sweep is one model access.  Unary factors
+        # touch one edge each; general factors touch each member edge.
+        edges = compiled.num_unary + len(compiled.fv_vars)
+        self._accesses_per_sweep = max(1, edges)
+
+    def _sweep_cost(self) -> float:
+        """Modeled wall-clock cost of one parallel sweep over all sockets."""
+        config = self.config
+        per_socket_accesses = self._accesses_per_sweep / config.sockets
+        if config.numa_aware:
+            return per_socket_accesses  # all accesses local
+        remote_fraction = (config.sockets - 1) / config.sockets
+        mean_cost = 1.0 + remote_fraction * (config.remote_penalty - 1.0)
+        return per_socket_accesses * mean_cost
+
+    def _sync_cost(self) -> float:
+        """Cost of one cross-socket model-averaging round.
+
+        Model averaging (Zinkevich et al.) exchanges the *model* -- the tied
+        weight vector -- not per-variable state, so a round costs one remote
+        copy of the weights from each non-resident socket.
+        """
+        if not self.config.numa_aware or self.config.sockets == 1:
+            return 0.0
+        return self.compiled.num_weights * (self.config.sockets - 1) \
+            * self.config.remote_penalty
+
+    def run(self, num_samples: int = 100, burn_in: int = 20) -> NumaRunResult:
+        """Draw marginals with one independent chain per socket.
+
+        NUMA-aware mode runs ``sockets`` replicas and averages their marginal
+        estimates every ``sync_every`` sweeps (model averaging); the shared
+        mode runs the same total number of sweeps on a single chain, paying
+        remote-access costs.
+        """
+        config = self.config
+        total_sweeps = burn_in + num_samples
+        if config.numa_aware and config.sockets > 1:
+            replicas = [GibbsSampler(self.compiled, seed=self.seed + s)
+                        for s in range(config.sockets)]
+            worlds = [r.initial_assignment() for r in replicas]
+            totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+            collected = 0
+            modeled_time = 0.0
+            samples = 0
+            for sweep_index in range(total_sweeps):
+                for replica, world in zip(replicas, worlds):
+                    samples += replica.sweep(world)
+                modeled_time += self._sweep_cost()
+                if (sweep_index + 1) % config.sync_every == 0:
+                    modeled_time += self._sync_cost()
+                if sweep_index >= burn_in:
+                    for world in worlds:
+                        totals += world
+                    collected += config.sockets
+            marginals = totals / max(collected, 1)
+        else:
+            sampler = GibbsSampler(self.compiled, seed=self.seed)
+            world = sampler.initial_assignment()
+            totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+            collected = 0
+            modeled_time = 0.0
+            samples = 0
+            for sweep_index in range(total_sweeps):
+                samples += sampler.sweep(world)
+                modeled_time += self._sweep_cost()
+                if sweep_index >= burn_in:
+                    totals += world
+                    collected += 1
+            marginals = totals / max(collected, 1)
+        clamped = self.compiled.is_evidence
+        marginals[clamped] = self.compiled.evidence_values[clamped]
+        return NumaRunResult(marginals=marginals, modeled_time=modeled_time,
+                             samples_drawn=samples)

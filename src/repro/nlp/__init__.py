@@ -1,0 +1,47 @@
+"""NLP preprocessing substrate: HTML stripping, sentence splitting,
+tokenization, POS tagging, chunking, and mention-span utilities.
+
+This stands in for the Stanford CoreNLP pipeline DeepDive runs at load time;
+the output contract is identical: one sentence per datastore row, carrying
+token and POS markup.
+"""
+
+from repro.nlp.chunker import Chunk, chunk, noun_phrases
+from repro.nlp.htmlstrip import strip_html
+from repro.nlp.mentions import (Span, parse_mention_id, phrase_between,
+                                pos_window, token_distance, window_after,
+                                window_before)
+from repro.nlp.pipeline import (DOCUMENT_SCHEMA, SENTENCE_SCHEMA, Document,
+                                Sentence, load_corpus, preprocess_document,
+                                sentence_from_row, sentence_row)
+from repro.nlp.pos import tag, tag_token
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenize import Token, token_texts, tokenize
+
+__all__ = [
+    "Chunk",
+    "DOCUMENT_SCHEMA",
+    "Document",
+    "SENTENCE_SCHEMA",
+    "Sentence",
+    "Span",
+    "Token",
+    "chunk",
+    "load_corpus",
+    "noun_phrases",
+    "parse_mention_id",
+    "phrase_between",
+    "pos_window",
+    "preprocess_document",
+    "sentence_from_row",
+    "sentence_row",
+    "split_sentences",
+    "strip_html",
+    "tag",
+    "tag_token",
+    "token_distance",
+    "token_texts",
+    "tokenize",
+    "window_after",
+    "window_before",
+]

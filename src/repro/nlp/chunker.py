@@ -1,0 +1,68 @@
+"""Shallow phrase chunking over POS tags.
+
+DeepDive's candidate mappings commonly start from noun-phrase spans ("every
+pair of candidate persons in the same sentence").  This chunker groups
+consecutive tokens into flat NP / VP / other chunks using tag patterns --
+the "linguistic parsing" level our pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous token span with a phrase label."""
+
+    label: str          # "NP", "VP", or "O"
+    start: int          # first token index (inclusive)
+    end: int            # last token index (exclusive)
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+
+_NP_TAGS = {"DT", "JJ", "NN", "NNP", "CD", "PRP"}
+_VP_TAGS = {"VB", "MD", "RB"}
+
+
+def chunk(tags: list[str]) -> list[Chunk]:
+    """Group a tagged sentence into flat chunks.
+
+    Maximal runs of noun-phrase tags become NP chunks, runs of verb tags
+    become VP chunks, everything else is O.  Determiners and adjectives only
+    start an NP if a noun follows within the run (so a dangling "the" at end
+    of sentence stays O).
+    """
+    chunks: list[Chunk] = []
+    i = 0
+    n = len(tags)
+    while i < n:
+        if tags[i] in _NP_TAGS:
+            j = i
+            while j < n and tags[j] in _NP_TAGS:
+                j += 1
+            if any(tags[k] in ("NN", "NNP", "PRP", "CD") for k in range(i, j)):
+                chunks.append(Chunk("NP", i, j))
+            else:
+                chunks.append(Chunk("O", i, j))
+            i = j
+        elif tags[i] in _VP_TAGS:
+            j = i
+            while j < n and tags[j] in _VP_TAGS:
+                j += 1
+            chunks.append(Chunk("VP", i, j))
+            i = j
+        else:
+            j = i
+            while j < n and tags[j] not in _NP_TAGS and tags[j] not in _VP_TAGS:
+                j += 1
+            chunks.append(Chunk("O", i, j))
+            i = j
+    return chunks
+
+
+def noun_phrases(tags: list[str]) -> list[Chunk]:
+    """Just the NP chunks of a tagged sentence."""
+    return [c for c in chunk(tags) if c.label == "NP"]

@@ -1,0 +1,93 @@
+"""Mention spans and the span utilities DeepDive features rely on.
+
+A *mention* is a token span inside one sentence that may refer to an entity
+(person, gene, price...).  Feature UDFs are written over spans: the phrase
+between two mentions, token windows, POS windows -- all provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.pipeline import Sentence
+
+
+@dataclass(frozen=True)
+class Span:
+    """A token span ``[start, end)`` within the sentence ``sentence_key``."""
+
+    sentence_key: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def mention_id(self) -> str:
+        """Stable identifier usable as a relation key."""
+        return f"{self.sentence_key}:{self.start}-{self.end}"
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        return (self.sentence_key == other.sentence_key
+                and self.start < other.end and other.start < self.end)
+
+    def text(self, sentence: Sentence) -> str:
+        return " ".join(sentence.tokens[self.start:self.end])
+
+
+def parse_mention_id(mention_id: str) -> Span:
+    """Inverse of :attr:`Span.mention_id`."""
+    sentence_key, _, span_part = mention_id.rpartition(":")
+    start_text, _, end_text = span_part.partition("-")
+    return Span(sentence_key, int(start_text), int(end_text))
+
+
+def phrase_between(sentence: Sentence, left: Span, right: Span,
+                   max_tokens: int = 8) -> str:
+    """The token phrase between two mentions (the paper's ``phrase`` UDF).
+
+    Returns the inter-mention tokens joined by spaces, lowercased, truncated
+    to ``max_tokens``; empty string if the spans touch or overlap.  Order of
+    arguments does not matter.
+    """
+    if left.start > right.start:
+        left, right = right, left
+    between = sentence.tokens[left.end:right.start]
+    if not between:
+        return ""
+    return " ".join(t.lower() for t in between[:max_tokens])
+
+
+def window_before(sentence: Sentence, span: Span, size: int = 3) -> tuple[str, ...]:
+    """Up to ``size`` lowercased tokens immediately before ``span``."""
+    start = max(0, span.start - size)
+    return tuple(t.lower() for t in sentence.tokens[start:span.start])
+
+
+def window_after(sentence: Sentence, span: Span, size: int = 3) -> tuple[str, ...]:
+    """Up to ``size`` lowercased tokens immediately after ``span``."""
+    return tuple(t.lower() for t in sentence.tokens[span.end:span.end + size])
+
+
+def pos_window(sentence: Sentence, span: Span, size: int = 2) -> tuple[str, ...]:
+    """POS tags of ``size`` tokens each side of ``span`` (padded with '-')."""
+    before = list(sentence.pos_tags[max(0, span.start - size):span.start])
+    after = list(sentence.pos_tags[span.end:span.end + size])
+    before = ["-"] * (size - len(before)) + before
+    after = after + ["-"] * (size - len(after))
+    return tuple(before + after)
+
+
+def token_distance(left: Span, right: Span) -> int:
+    """Number of tokens strictly between two spans in the same sentence."""
+    if left.sentence_key != right.sentence_key:
+        raise ValueError("spans are in different sentences")
+    if left.start > right.start:
+        left, right = right, left
+    return max(0, right.start - left.end)

@@ -1,0 +1,102 @@
+"""The document-loading pipeline: raw documents -> sentence rows with markup.
+
+Mirrors DeepDive's default loading step: each input document is HTML-stripped,
+split into sentences, tokenized, and POS-tagged; the result is stored *one
+sentence per row* in the ``sentences`` relation of the datastore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datastore import Database, Schema
+from repro.nlp.chunker import Chunk, noun_phrases
+from repro.nlp.htmlstrip import strip_html
+from repro.nlp.pos import tag
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenize import Token, tokenize
+
+
+@dataclass(frozen=True)
+class Document:
+    """A raw input document (possibly HTML)."""
+
+    doc_id: str
+    content: str
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One preprocessed sentence: the unit DeepDive candidates live in."""
+
+    doc_id: str
+    sentence_id: int      # position of the sentence within its document
+    text: str
+    tokens: tuple[str, ...]
+    pos_tags: tuple[str, ...]
+    offsets: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def key(self) -> str:
+        """Globally unique sentence identifier."""
+        return f"{self.doc_id}:{self.sentence_id}"
+
+    def noun_phrase_chunks(self) -> list[Chunk]:
+        return noun_phrases(list(self.pos_tags))
+
+
+SENTENCE_SCHEMA = Schema.of(
+    sentence_key="text", doc_id="text", sentence_id="int", text="text",
+    tokens="array", pos_tags="array")
+
+DOCUMENT_SCHEMA = Schema.of(doc_id="text", content="text")
+
+
+def preprocess_document(doc: Document) -> list[Sentence]:
+    """Run the full NLP chain on one document."""
+    text = strip_html(doc.content)
+    sentences = []
+    for index, sentence_text in enumerate(split_sentences(text)):
+        tokens: list[Token] = tokenize(sentence_text)
+        texts = [t.text for t in tokens]
+        sentences.append(Sentence(
+            doc_id=doc.doc_id,
+            sentence_id=index,
+            text=sentence_text,
+            tokens=tuple(texts),
+            pos_tags=tuple(tag(texts)),
+            offsets=tuple((t.start, t.end) for t in tokens),
+        ))
+    return sentences
+
+
+def load_corpus(db: Database, documents: Iterable[Document]) -> int:
+    """Preprocess ``documents`` into the ``documents``/``sentences`` relations.
+
+    Creates the relations if absent.  Returns the number of sentences loaded.
+    """
+    if "documents" not in db:
+        db.create("documents", DOCUMENT_SCHEMA)
+    if "sentences" not in db:
+        db.create("sentences", SENTENCE_SCHEMA)
+    loaded = 0
+    for doc in documents:
+        db["documents"].insert((doc.doc_id, doc.content))
+        for sentence in preprocess_document(doc):
+            db["sentences"].insert(sentence_row(sentence))
+            loaded += 1
+    return loaded
+
+
+def sentence_row(sentence: Sentence) -> tuple:
+    """The ``sentences`` relation row for a :class:`Sentence`."""
+    return (sentence.key, sentence.doc_id, sentence.sentence_id, sentence.text,
+            sentence.tokens, sentence.pos_tags)
+
+
+def sentence_from_row(row: Sequence) -> Sentence:
+    """Reconstruct a :class:`Sentence` from its ``sentences`` relation row."""
+    _, doc_id, sentence_id, text, tokens, pos_tags = row
+    return Sentence(doc_id=doc_id, sentence_id=sentence_id, text=text,
+                    tokens=tuple(tokens), pos_tags=tuple(pos_tags))

@@ -1,0 +1,103 @@
+"""Rule-based part-of-speech tagging.
+
+A lexicon-plus-suffix tagger in the spirit of the baseline stage of a Brill
+tagger.  DeepDive's features consume POS tags for things like "is the
+candidate preceded by a proper noun?" -- the tag inventory is a compact
+subset of Penn Treebank tags sufficient for the feature library:
+
+``NNP`` proper noun, ``NN`` common noun, ``VB`` verb, ``JJ`` adjective,
+``RB`` adverb, ``CD`` number, ``DT`` determiner, ``IN`` preposition,
+``CC`` conjunction, ``PRP`` pronoun, ``MD`` modal, ``SYM`` symbol,
+``PUNCT`` punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DETERMINERS = {"a", "an", "the", "this", "that", "these", "those", "each", "every", "some",
+                "any", "no", "all", "both"}
+_PREPOSITIONS = {"in", "on", "at", "by", "for", "with", "about", "against", "between",
+                 "into", "through", "during", "before", "after", "above", "below", "to",
+                 "from", "up", "down", "of", "off", "over", "under", "near", "per"}
+_CONJUNCTIONS = {"and", "or", "but", "nor", "so", "yet", "while", "whereas"}
+_PRONOUNS = {"i", "you", "he", "she", "it", "we", "they", "him", "her", "them", "his",
+             "hers", "its", "their", "our", "your", "my", "who", "whom", "which", "whose"}
+_MODALS = {"can", "could", "may", "might", "must", "shall", "should", "will", "would"}
+_COMMON_VERBS = {
+    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had",
+    "do", "does", "did", "said", "says", "made", "make", "found", "shows",
+    "show", "showed", "reported", "reports", "married", "met", "divorced",
+    "causes", "cause", "caused", "regulates", "regulate", "regulated",
+    "inhibits", "inhibit", "inhibited", "activates", "activate", "activated",
+    "treats", "treat", "treated", "exhibits", "exhibit", "exhibited",
+    "measured", "observed", "increases", "decreases", "induces", "induced",
+    "associated", "linked", "wed", "dated", "interacts", "binds", "encodes",
+}
+_COMMON_ADVERBS = {"very", "not", "also", "never", "always", "often", "recently",
+                   "significantly", "strongly", "weakly", "reportedly", "allegedly"}
+
+_NUMBER = re.compile(r"^\d[\d,]*(?:\.\d+)?$")
+_ORDINAL = re.compile(r"^\d+(?:st|nd|rd|th)$")
+_PUNCT = re.compile(r"^[^\w\s]+$")
+_SYMBOL = set("$€£¥%")
+
+_VERB_SUFFIXES = ("ize", "ise", "ate", "ify")
+_ADJ_SUFFIXES = ("ous", "ful", "ble", "ive", "ic", "al", "ary", "less", "ish")
+_ADV_SUFFIX = "ly"
+_NOUN_SUFFIXES = ("tion", "sion", "ment", "ness", "ity", "ism", "ist", "ance", "ence", "ship")
+
+
+def tag_token(text: str, is_sentence_initial: bool = False) -> str:
+    """Tag one token; ``is_sentence_initial`` damps the capitalized->NNP cue."""
+    lower = text.lower()
+    if text in _SYMBOL:
+        return "SYM"
+    if _PUNCT.match(text):
+        return "PUNCT"
+    if _NUMBER.match(text):
+        return "CD"
+    if _ORDINAL.match(text):
+        return "CD"
+    if lower in _DETERMINERS:
+        return "DT"
+    if lower in _PREPOSITIONS:
+        return "IN"
+    if lower in _CONJUNCTIONS:
+        return "CC"
+    if lower in _PRONOUNS:
+        return "PRP"
+    if lower in _MODALS:
+        return "MD"
+    if lower in _COMMON_VERBS:
+        return "VB"
+    if lower in _COMMON_ADVERBS:
+        return "RB"
+    if text[0].isupper() and not is_sentence_initial:
+        return "NNP"
+    if lower.endswith(_ADV_SUFFIX) and len(lower) > 4:
+        return "RB"
+    if lower.endswith(("ed", "ing")) and len(lower) > 4:
+        return "VB"
+    if lower.endswith(_VERB_SUFFIXES) and len(lower) > 5:
+        return "VB"
+    if lower.endswith(_NOUN_SUFFIXES):
+        return "NN"
+    if lower.endswith(_ADJ_SUFFIXES) and len(lower) > 4:
+        return "JJ"
+    if text[0].isupper():  # sentence-initial capital: could still be a name
+        return "NNP" if len(text) > 1 and not lower.endswith("s") else "NN"
+    return "NN"
+
+
+def tag(tokens: list[str]) -> list[str]:
+    """Tag a tokenized sentence; applies one contextual repair pass.
+
+    The repair pass re-tags sentence-initial capitalized tokens as NNP when
+    the following token is also NNP (names like "Barack Obama" at sentence
+    start), mirroring the most valuable Brill transformation for our corpora.
+    """
+    tags = [tag_token(text, is_sentence_initial=(i == 0)) for i, text in enumerate(tokens)]
+    if len(tags) >= 2 and tags[1] == "NNP" and tokens[0][:1].isupper() and tags[0] in ("NN", "JJ", "VB"):
+        tags[0] = "NNP"
+    return tags

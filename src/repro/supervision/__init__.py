@@ -1,0 +1,12 @@
+"""Supervision tooling beyond the DDlog ``_Ev`` rules: the Section-8
+overlap detector and the manual-labelling comparator used by E10/E11."""
+
+from repro.supervision.manual import apply_manual_labels, noisy_oracle
+from repro.supervision.overlap import OverlapWarning, detect_supervision_overlap
+
+__all__ = [
+    "OverlapWarning",
+    "apply_manual_labels",
+    "detect_supervision_overlap",
+    "noisy_oracle",
+]

@@ -1,0 +1,85 @@
+"""Detection of supervision/feature overlap (paper Section 8).
+
+"If the distant supervision rule is identical to or extremely similar to a
+feature function, standard statistical training procedures will fail badly...
+the training procedure will build a model that places all weight on the
+single feature that overlaps with the supervision rule...  This failure mode
+is extremely hard to detect: to the user, it simply appears that the training
+procedure has failed."
+
+The detector scans tied feature weights and flags those whose firing pattern
+(which evidence variables carry a factor with this weight) is a near-perfect
+predictor of the evidence labels: precision ~1 on labelled data with
+substantial coverage of the positives.  Those are exactly the features a
+training run will latch onto and that will not generalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.factorgraph.factor_functions import FactorFunction
+from repro.factorgraph.graph import FactorGraph
+
+
+@dataclass(frozen=True)
+class OverlapWarning:
+    """One suspicious feature weight."""
+
+    weight_key: str
+    positive_hits: int          # evidence=True variables carrying the feature
+    negative_hits: int          # evidence=False variables carrying the feature
+    positive_total: int         # all evidence=True variables
+    severity: float             # recall on positives (1.0 = full overlap)
+
+    def describe(self) -> str:
+        return (f"feature {self.weight_key!r} fires on {self.positive_hits}/"
+                f"{self.positive_total} positive labels and "
+                f"{self.negative_hits} negatives -- it likely duplicates a "
+                f"distant supervision rule")
+
+
+def detect_supervision_overlap(graph: FactorGraph,
+                               min_coverage: float = 0.8,
+                               max_negative_rate: float = 0.02,
+                               min_positives: int = 5) -> list[OverlapWarning]:
+    """Flag feature weights that near-perfectly reproduce the evidence labels.
+
+    ``min_coverage`` -- minimum fraction of positive evidence variables the
+    feature must cover to be suspicious (a narrow feature that happens to be
+    always-positive is normal; a feature covering *most* positives is not).
+    """
+    positive_variables = {v.var_id for v in graph.variables.values()
+                          if v.evidence is True}
+    negative_variables = {v.var_id for v in graph.variables.values()
+                          if v.evidence is False}
+    if len(positive_variables) < min_positives:
+        return []
+
+    # weight -> set of evidence variables carrying an IS_TRUE factor tied to it
+    positive_hits: dict[int, set[int]] = {}
+    negative_hits: dict[int, set[int]] = {}
+    for factor in graph.factors.values():
+        if factor.function != FactorFunction.IS_TRUE:
+            continue
+        var_id = factor.var_ids[0]
+        if var_id in positive_variables:
+            positive_hits.setdefault(factor.weight_id, set()).add(var_id)
+        elif var_id in negative_variables:
+            negative_hits.setdefault(factor.weight_id, set()).add(var_id)
+
+    warnings = []
+    for weight_id, hits in positive_hits.items():
+        coverage = len(hits) / len(positive_variables)
+        negatives = len(negative_hits.get(weight_id, ()))
+        fired_total = len(hits) + negatives
+        negative_rate = negatives / fired_total if fired_total else 0.0
+        if coverage >= min_coverage and negative_rate <= max_negative_rate:
+            warnings.append(OverlapWarning(
+                weight_key=str(graph.weights[weight_id].key),
+                positive_hits=len(hits),
+                negative_hits=negatives,
+                positive_total=len(positive_variables),
+                severity=coverage,
+            ))
+    return sorted(warnings, key=lambda w: -w.severity)

@@ -1,0 +1,246 @@
+"""Integration tests: every example application must reach high quality on
+its synthetic corpus (the paper's claim of human-level precision across
+domains, E9's unit-level counterpart)."""
+
+import pytest
+
+from repro.apps import ads, books, genetics, materials, pharma, spouse
+from repro.corpus import ads as ads_corpus
+from repro.corpus import books as books_corpus
+from repro.corpus import genetics as genetics_corpus
+from repro.corpus import materials as materials_corpus
+from repro.corpus import pharma as pharma_corpus
+from repro.corpus import spouse as spouse_corpus
+from repro.inference import LearningOptions
+
+RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.15,
+                  learning=LearningOptions(epochs=60, seed=0),
+                  num_samples=200, burn_in=30, compute_train_histogram=False)
+
+
+class TestSpouseApp:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        corpus = spouse_corpus.generate(
+            spouse_corpus.SpouseConfig(num_couples=30, num_distractor_pairs=20,
+                                       num_sibling_pairs=8,
+                                       sentences_per_pair=3), seed=1)
+        app = spouse.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        return app, result, corpus
+
+    def test_quality(self, setup):
+        app, result, corpus = setup
+        pr = spouse.evaluate(app, result, corpus)
+        assert pr.f1 > 0.8
+
+    def test_candidates_high_recall(self, setup):
+        app, result, corpus = setup
+        gold = spouse.gold_mention_pairs(app, corpus)
+        candidates = set(app.db["MarriedCandidate"].distinct_rows())
+        assert len(gold & candidates) / len(gold) > 0.9
+
+    def test_features_human_readable(self, setup):
+        app, result, corpus = setup
+        keys = [s.key for s in result.feature_stats]
+        assert any("between:" in k for k in keys)
+        assert any("dist:" in k for k in keys)
+
+
+class TestGeneticsApp:
+    def test_quality(self):
+        corpus = genetics_corpus.generate(seed=2)
+        app = genetics.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        pr = genetics.evaluate(app, result, corpus)
+        assert pr.f1 > 0.85
+
+    def test_entity_predictions_typed(self):
+        corpus = genetics_corpus.generate(seed=2)
+        app = genetics.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        for gene, pheno in genetics.entity_predictions(app, result):
+            assert gene[0].isupper()
+            assert pheno.islower()
+
+
+class TestPharmaApp:
+    def test_quality(self):
+        corpus = pharma_corpus.generate(seed=2)
+        app = pharma.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        pr = pharma.evaluate(app, result, corpus)
+        assert pr.f1 > 0.85
+
+
+class TestMaterialsApp:
+    def test_quality(self):
+        corpus = materials_corpus.generate(seed=2)
+        app = materials.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        pr = materials.evaluate(app, result, corpus)
+        assert pr.f1 > 0.8
+
+    def test_property_recovered_from_units(self):
+        corpus = materials_corpus.generate(seed=2)
+        app = materials.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        props = {prop for _, prop, _ in materials.entity_predictions(app, result)}
+        assert "unknown" not in props
+
+
+class TestAdsApp:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        corpus = ads_corpus.generate(ads_corpus.AdsConfig(num_ads=25), seed=3)
+        app = ads.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        return app, result, corpus
+
+    def test_price_quality(self, setup):
+        app, result, corpus = setup
+        assert ads.evaluate_price(app, result, corpus).f1 > 0.85
+
+    def test_location_quality(self, setup):
+        app, result, corpus = setup
+        assert ads.evaluate_location(app, result, corpus).f1 > 0.85
+
+    def test_phone_regex_is_perfect(self, setup):
+        _, _, corpus = setup
+        pr = ads.evaluate_phone(corpus)
+        assert pr.f1 == 1.0  # the paper's one deterministic success story
+
+    def test_forum_links_found(self, setup):
+        _, _, corpus = setup
+        links = ads.forum_links(corpus)
+        assert links
+        for ad_id, forum_id in links:
+            assert ad_id.startswith("ad")
+            assert forum_id.startswith("forum")
+
+
+class TestBooksApp:
+    def test_integrated_quality(self):
+        corpus = books_corpus.generate(seed=3)
+        app = books.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        pr = books.evaluate(app, result, corpus)
+        assert pr.f1 > 0.9
+
+    def test_without_dictionary_worse(self):
+        corpus = books_corpus.generate(seed=3)
+        with_dict = books.build(corpus, seed=0)
+        without_dict = books.build(corpus, seed=0, use_movie_dictionary=False)
+        pr_with = books.evaluate(with_dict, with_dict.run(**RUN_KWARGS), corpus)
+        pr_without = books.evaluate(without_dict, without_dict.run(**RUN_KWARGS),
+                                    corpus)
+        assert pr_with.precision >= pr_without.precision
+
+
+class TestJointSpouseApp:
+    def test_joint_entity_aggregation_beats_lifting(self):
+        corpus = spouse_corpus.generate(
+            spouse_corpus.SpouseConfig(num_couples=25, num_distractor_pairs=25,
+                                       num_sibling_pairs=8,
+                                       sentences_per_pair=3), seed=4)
+        app = spouse.build(corpus, seed=0, joint=True)
+        result = app.run(**RUN_KWARGS)
+        joint = spouse.evaluate_entities(app, result, corpus)
+        lifted = spouse.evaluate_entities(app, result, corpus,
+                                          from_mentions=True)
+        assert joint.f1 >= lifted.f1 - 0.02
+        assert joint.f1 > 0.8
+
+    def test_entity_variables_created(self):
+        corpus = spouse_corpus.generate(
+            spouse_corpus.SpouseConfig(num_couples=10, num_distractor_pairs=10,
+                                       num_sibling_pairs=4), seed=4)
+        app = spouse.build(corpus, seed=0, joint=True)
+        app.grounder
+        keys = {v.key[0] for v in app.graph.variables.values()}
+        assert "MarriedEntities" in keys
+        assert "MarriedMentions" in keys
+
+    def test_imply_factors_grounded(self):
+        from repro.factorgraph import FactorFunction
+        corpus = spouse_corpus.generate(
+            spouse_corpus.SpouseConfig(num_couples=10, num_distractor_pairs=10,
+                                       num_sibling_pairs=4), seed=4)
+        app = spouse.build(corpus, seed=0, joint=True)
+        app.grounder
+        functions = {f.function for f in app.graph.factors.values()}
+        assert FactorFunction.IMPLY in functions
+
+
+class TestPaleoApp:
+    def test_quality(self):
+        from repro.apps import paleo
+        from repro.corpus import paleo as paleo_corpus
+        corpus = paleo_corpus.generate(seed=2)
+        app = paleo.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        pr = paleo.evaluate(app, result, corpus)
+        assert pr.f1 > 0.85
+
+    def test_formation_extractor_anchors_on_keyword(self):
+        from repro.apps import paleo
+        from repro.nlp import Document, preprocess_document
+        sentence = preprocess_document(
+            Document("d", "Fossils occur in the Ashford Formation today ."))[0]
+        rows = paleo.formation_extractor(sentence)
+        assert len(rows) == 1
+        assert rows[0][2] == "Ashford"
+
+    def test_taxon_extractor_suffix_match(self):
+        from repro.apps import paleo
+        from repro.nlp import Document, preprocess_document
+        sentence = preprocess_document(
+            Document("d", "Remains of Bravosaurus were found nearby ."))[0]
+        rows = paleo.taxon_extractor(sentence)
+        assert [r[2] for r in rows] == ["Bravosaurus"]
+
+
+class TestMaterialsTables:
+    """Dark data's second modality: measurement tables (paper Sec. 1)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        corpus = materials_corpus.generate(
+            materials_corpus.MaterialsConfig(num_materials=30,
+                                             table_fraction=0.4), seed=5)
+        app = materials.build(corpus, seed=0)
+        result = app.run(**RUN_KWARGS)
+        return app, result, corpus
+
+    def test_table_documents_generated(self, setup):
+        _, _, corpus = setup
+        assert any(d.doc_id.startswith("tbl") for d in corpus.documents)
+
+    def test_quality_with_tables(self, setup):
+        app, result, corpus = setup
+        pr = materials.evaluate(app, result, corpus)
+        assert pr.f1 > 0.8
+
+    def test_table_cells_extracted(self, setup):
+        app, _, _ = setup
+        table_mentions = [m for (s, m, _, _)
+                          in app.db["FormulaMention"].distinct_rows()
+                          if ":t0:" in m]
+        assert table_mentions
+
+    def test_table_values_accepted(self, setup):
+        app, result, corpus = setup
+        table_formulas = set()
+        for doc in corpus.documents:
+            if doc.doc_id.startswith("tbl"):
+                from repro.nlp.tables import cell_candidates
+                for _, formula, _, _ in cell_candidates(doc.doc_id, doc.content):
+                    table_formulas.add(formula)
+        predicted_formulas = {f for f, _, _
+                              in materials.entity_predictions(app, result)}
+        assert table_formulas & predicted_formulas
+
+    def test_anneal_distractor_rejected(self, setup):
+        app, result, _ = setup
+        for _, prop, _ in materials.entity_predictions(app, result):
+            assert prop in ("electron_mobility", "band_gap")

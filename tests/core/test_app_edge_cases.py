@@ -1,0 +1,142 @@
+"""Edge-case and failure-injection tests for the application object."""
+
+import pytest
+
+from repro import DeepDive, Document
+from repro.inference import LearningOptions
+
+PROGRAM = """
+Content(s text, content text).
+Mention(s text, m text, token text, position int).
+Thing?(m text).
+GoodList(token text).
+
+Thing(m) :- Mention(s, m, t, p), Content(s, content) weight = feats(t).
+Thing_Ev(m, true) :- Mention(s, m, t, p), GoodList(t).
+"""
+
+
+def make_app():
+    app = DeepDive(PROGRAM, seed=0)
+    app.register_udf("feats", lambda t: [f"w:{t}"])
+    app.add_extractor("Mention", lambda s: [
+        (s.key, f"{s.key}:{i}", tok.lower(), i)
+        for i, tok in enumerate(s.tokens) if tok.isalpha()])
+    app.add_extractor("Content", lambda s: [(s.key, s.text)])
+    return app
+
+
+FAST = dict(learning=LearningOptions(epochs=5, seed=0),
+            num_samples=30, burn_in=5, compute_train_histogram=False)
+
+
+class TestEmptyAndDegenerate:
+    def test_run_with_no_documents(self):
+        app = make_app()
+        result = app.run(holdout_fraction=0.0, **FAST)
+        assert result.marginals == {}
+        assert result.output == {}
+
+    def test_run_with_no_evidence(self):
+        app = make_app()
+        app.load_documents([Document("d", "alpha beta")])
+        result = app.run(holdout_fraction=0.0, **FAST)
+        # unlabeled candidates hover near the prior
+        for probability in result.marginals.values():
+            assert 0.05 < probability < 0.95
+
+    def test_threshold_one_accepts_only_certainty(self):
+        app = make_app()
+        app.load_documents([Document("d", "alpha beta")])
+        app.add_rows("GoodList", [("alpha",)])
+        result = app.run(threshold=1.0, holdout_fraction=0.0, **FAST)
+        marginals = result.relation_marginals("Thing")
+        for values in result.output_tuples("Thing"):
+            assert marginals[values] == 1.0
+
+    def test_full_holdout(self):
+        app = make_app()
+        app.load_documents([Document("d", "alpha beta gamma")])
+        app.add_rows("GoodList", [("alpha",), ("beta",)])
+        result = app.run(holdout_fraction=1.0, **FAST)
+        # every evidence variable was held out for calibration
+        assert len(result.holdout_pairs) == 2
+
+    def test_zero_holdout_no_pairs(self):
+        app = make_app()
+        app.load_documents([Document("d", "alpha")])
+        app.add_rows("GoodList", [("alpha",)])
+        result = app.run(holdout_fraction=0.0, **FAST)
+        assert result.holdout_pairs == []
+
+    def test_document_with_no_candidates(self):
+        app = make_app()
+        app.load_documents([Document("d", "12345 67890 ...")])
+        result = app.run(holdout_fraction=0.0, **FAST)
+        assert result.marginals == {}
+
+    def test_empty_document(self):
+        app = make_app()
+        assert app.load_documents([Document("d", "")]) == 0
+
+
+class TestMisuse:
+    def test_unknown_relation_in_add_rows(self):
+        from repro.datastore import DatabaseError
+        app = make_app()
+        with pytest.raises(DatabaseError):
+            app.add_rows("Nope", [("x",)])
+
+    def test_wrong_arity_rows(self):
+        from repro.datastore.schema import SchemaError
+        app = make_app()
+        with pytest.raises(SchemaError):
+            app.add_rows("GoodList", [("a", "b")])
+
+    def test_invalid_program_rejected_at_parse(self):
+        from repro.ddlog import DDlogValidationError
+        with pytest.raises(DDlogValidationError):
+            DeepDive("R(a text). Q(a text). Q(z) :- R(a).")
+
+    def test_unregistered_udf_fails_at_ground(self):
+        from repro.ddlog import DDlogValidationError
+        app = DeepDive(PROGRAM, seed=0)  # feats never registered
+        app.add_extractor("Content", lambda s: [(s.key, s.text)])
+        app.load_documents([Document("d", "alpha")])
+        with pytest.raises(DDlogValidationError, match="feats"):
+            app.run(**FAST)
+
+    def test_duplicate_document_ids_tolerated(self):
+        app = make_app()
+        app.load_documents([Document("d", "alpha")])
+        app.load_documents([Document("d", "alpha")])
+        # duplicate content yields the same mention rows; grounding dedups
+        result = app.run(holdout_fraction=0.0, **FAST)
+        assert len(result.marginals) == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_marginals(self):
+        results = []
+        for _ in range(2):
+            app = make_app()
+            app.load_documents([Document("d", "alpha beta gamma delta")])
+            app.add_rows("GoodList", [("alpha",)])
+            results.append(app.run(holdout_fraction=0.0, **FAST))
+        assert results[0].marginals == results[1].marginals
+
+    def test_seed_changes_sampling(self):
+        marginals = []
+        for seed in (0, 1):
+            app = make_app()
+            # rebuild with a different seed
+            app.seed = seed
+            app.load_documents([Document("d", "alpha beta gamma delta")])
+            marginals.append(app.run(holdout_fraction=0.0, **FAST).marginals)
+        assert set(marginals[0]) == set(marginals[1])
+
+
+class TestSelfCheck:
+    def test_module_selfcheck_passes(self):
+        from repro.__main__ import selfcheck
+        assert selfcheck() == 0

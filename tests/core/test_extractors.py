@@ -1,0 +1,54 @@
+"""Unit tests for the extractor runner machinery."""
+
+from repro.core.extractors import (CandidateExtractor, DocumentExtractor,
+                                   run_document_extractors, run_extractors)
+from repro.nlp.pipeline import Document, preprocess_document
+
+
+def sentences(text):
+    return preprocess_document(Document("d", text))
+
+
+class TestCandidateExtractor:
+    def test_rows_normalized_to_tuples(self):
+        extractor = CandidateExtractor("R", lambda s: [[s.key, "x"]])
+        rows = extractor.rows(sentences("hello there")[0])
+        assert rows == [("d:0", "x")]
+
+    def test_none_result_is_empty(self):
+        extractor = CandidateExtractor("R", lambda s: None)
+        assert extractor.rows(sentences("hello")[0]) == []
+
+    def test_run_extractors_groups_by_relation(self):
+        first = CandidateExtractor("A", lambda s: [(s.key,)])
+        second = CandidateExtractor("B", lambda s: [(s.key, s.text)])
+        grouped = run_extractors([first, second], sentences("One. Two."))
+        assert len(grouped["A"]) == 2
+        assert len(grouped["B"]) == 2
+
+    def test_empty_relations_dropped(self):
+        silent = CandidateExtractor("A", lambda s: [])
+        assert run_extractors([silent], sentences("One.")) == {}
+
+
+class TestDocumentExtractor:
+    def test_rows_normalized(self):
+        extractor = DocumentExtractor(lambda d: {"R": [[d.doc_id, 1]]})
+        assert extractor.rows(Document("x", "")) == {"R": [("x", 1)]}
+
+    def test_none_result_empty(self):
+        extractor = DocumentExtractor(lambda d: None)
+        assert extractor.rows(Document("x", "")) == {}
+
+    def test_empty_relations_dropped(self):
+        extractor = DocumentExtractor(lambda d: {"R": []})
+        assert extractor.rows(Document("x", "")) == {}
+
+    def test_run_document_extractors_merges(self):
+        first = DocumentExtractor(lambda d: {"R": [(d.doc_id, 1)]})
+        second = DocumentExtractor(lambda d: {"R": [(d.doc_id, 2)],
+                                              "S": [(d.doc_id,)]})
+        docs = [Document("a", ""), Document("b", "")]
+        grouped = run_document_extractors([first, second], docs)
+        assert len(grouped["R"]) == 4
+        assert len(grouped["S"]) == 2

@@ -1,0 +1,86 @@
+"""Tests for the execution-history log."""
+
+from repro.core import RunHistory, RunResult
+from repro.eval.error_analysis import FeatureStat
+
+
+def make_result(marginals, weights):
+    return RunResult(
+        marginals=marginals,
+        threshold=0.9,
+        graph_stats={"variables": len(marginals)},
+        feature_stats=[FeatureStat(key, weight, 10)
+                       for key, weight in weights.items()],
+    )
+
+
+class TestRunHistory:
+    def test_record_and_length(self):
+        history = RunHistory()
+        history.record(make_result({("R", ("a",)): 0.95}, {"f1": 1.0}), "first")
+        assert len(history) == 1
+        assert history[0].label == "first"
+        assert history[0].accepted == 1
+        assert history[0].candidates == 1
+
+    def test_checksum_deterministic(self):
+        history = RunHistory()
+        result = make_result({("R", ("a",)): 0.95}, {"f1": 1.0})
+        snap1 = history.record(result)
+        snap2 = history.record(result)
+        assert snap1.checksum == snap2.checksum
+
+    def test_checksum_sensitive_to_marginals(self):
+        history = RunHistory()
+        a = history.record(make_result({("R", ("a",)): 0.95}, {"f1": 1.0}))
+        b = history.record(make_result({("R", ("a",)): 0.15}, {"f1": 1.0}))
+        assert a.checksum != b.checksum
+
+    def test_diff_detects_new_features(self):
+        history = RunHistory()
+        history.record(make_result({}, {"f1": 1.0}))
+        history.record(make_result({}, {"f1": 1.0, "f2": 0.5}))
+        diff = history.diff()
+        assert diff.added_features == ["f2"]
+        assert diff.removed_features == []
+
+    def test_diff_detects_weight_shifts(self):
+        history = RunHistory()
+        history.record(make_result({}, {"f1": 1.0}))
+        history.record(make_result({}, {"f1": 2.5}))
+        diff = history.diff()
+        assert diff.weight_shifts == [("f1", 1.0, 2.5)]
+
+    def test_diff_accepted_counts(self):
+        history = RunHistory()
+        history.record(make_result({("R", ("a",)): 0.95}, {}))
+        history.record(make_result({("R", ("a",)): 0.95,
+                                    ("R", ("b",)): 0.99}, {}))
+        diff = history.diff()
+        assert diff.accepted_before == 1
+        assert diff.accepted_after == 2
+
+    def test_diff_render(self):
+        history = RunHistory()
+        history.record(make_result({}, {"f1": 1.0}))
+        history.record(make_result({}, {"f1": 2.0, "f2": 0.1}))
+        text = history.diff().render()
+        assert "f2" in text
+        assert "f1" in text
+
+    def test_render_history(self):
+        history = RunHistory()
+        history.record(make_result({}, {}), "baseline")
+        history.record(make_result({}, {}), "with phrase features")
+        text = history.render()
+        assert "baseline" in text
+        assert "with phrase features" in text
+
+    def test_explicit_indices(self):
+        history = RunHistory()
+        history.record(make_result({}, {"a": 1.0}))
+        history.record(make_result({}, {"b": 1.0}))
+        history.record(make_result({}, {"c": 1.0}))
+        diff = history.diff(0, 2)
+        assert diff.added_features == ["c"]
+        assert diff.removed_features == ["a"]

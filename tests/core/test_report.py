@@ -1,0 +1,70 @@
+"""Tests for the full run report."""
+
+import pytest
+
+from repro import DeepDive, Document
+from repro.core import RunHistory, run_report
+from repro.inference import LearningOptions
+
+PROGRAM = """
+Content(s text, content text).
+Mention(s text, m text, token text, position int).
+Fresh?(m text).
+GoodList(token text).
+BadList(token text).
+
+Fresh(m) :- Mention(s, m, t, p), Content(s, content) weight = feats(t).
+Fresh_Ev(m, true) :- Mention(s, m, t, p), GoodList(t).
+Fresh_Ev(m, false) :- Mention(s, m, t, p), BadList(t).
+"""
+
+
+@pytest.fixture(scope="module")
+def app_and_result():
+    app = DeepDive(PROGRAM, seed=0)
+    app.register_udf("feats", lambda t: [f"w:{t}"])
+    app.add_extractor("Mention", lambda s: [
+        (s.key, f"{s.key}:{i}", tok.lower(), i)
+        for i, tok in enumerate(s.tokens) if tok.isalpha()])
+    app.add_extractor("Content", lambda s: [(s.key, s.text)])
+    app.load_documents([Document("d1", "apple rot pear mold fig")])
+    app.add_rows("GoodList", [("apple",), ("pear",)])
+    app.add_rows("BadList", [("rot",), ("mold",)])
+    result = app.run(threshold=0.7, holdout_fraction=0.25,
+                     learning=LearningOptions(epochs=30, seed=0),
+                     num_samples=100, burn_in=15,
+                     compute_train_histogram=False)
+    return app, result
+
+
+class TestRunReport:
+    def test_contains_all_sections(self, app_and_result):
+        app, result = app_and_result
+        text = run_report(app, result)
+        for section in ("DEEPDIVE RUN REPORT", "factor graph",
+                        "output database", "top features",
+                        "supervision overlap check"):
+            assert section in text
+
+    def test_calibration_included_with_holdout(self, app_and_result):
+        app, result = app_and_result
+        if result.holdout_pairs:
+            assert "calibration" in run_report(app, result)
+
+    def test_relation_filter(self, app_and_result):
+        app, result = app_and_result
+        text = run_report(app, result, relation="Fresh")
+        assert "Fresh:" in text
+
+    def test_history_diff_on_second_run(self, app_and_result):
+        app, result = app_and_result
+        history = RunHistory()
+        first = run_report(app, result, history=history)
+        assert "first recorded run" in first
+        second = run_report(app, result, history=history)
+        assert "change since previous run" in second
+        assert len(history) == 2
+
+    def test_clean_overlap_check(self, app_and_result):
+        app, result = app_and_result
+        assert "clean: no feature duplicates" in run_report(app, result)

@@ -1,0 +1,182 @@
+"""Tests for the synthetic corpus generators: determinism, structure, and
+the noise knobs they expose."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import ads, base, books, genetics, materials, pharma, spouse
+
+
+class TestBase:
+    def test_synthetic_names_distinct(self):
+        rng = np.random.default_rng(0)
+        names = base.synthetic_names(100, rng)
+        assert len(set(names)) == 100
+
+    def test_synthetic_names_deterministic(self):
+        a = base.synthetic_names(10, np.random.default_rng(5))
+        b = base.synthetic_names(10, np.random.default_rng(5))
+        assert a == b
+
+    def test_apply_typo_changes_one_word(self):
+        rng = np.random.default_rng(0)
+        out = base.apply_typo("alpha bravo charlie", rng)
+        assert out != "alpha bravo charlie"
+        assert len(out) == len("alpha bravo charlie") - 1
+
+    def test_apply_typo_short_words_untouched(self):
+        rng = np.random.default_rng(0)
+        assert base.apply_typo("a bb cc", rng) == "a bb cc"
+
+
+class TestSpouseCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return spouse.generate(spouse.SpouseConfig(num_couples=10,
+                                                   num_distractor_pairs=10,
+                                                   num_sibling_pairs=4), seed=7)
+
+    def test_document_counts(self, corpus):
+        config = corpus.metadata["config"]
+        expected = (10 + 10 + 4) * config.sentences_per_pair
+        assert corpus.num_documents == expected
+
+    def test_truth_size(self, corpus):
+        assert len(corpus.truth["married_entities"]) == 10
+
+    def test_kb_incomplete(self, corpus):
+        married_entities = {frozenset(pair) for pair in corpus.truth["married_entities"]}
+        kb_pairs = {frozenset(pair) for pair in corpus.kb["Married"]}
+        assert kb_pairs  # nonempty
+        assert len(kb_pairs) < len(married_entities) + 3  # incomplete-ish
+
+    def test_deterministic(self):
+        a = spouse.generate(seed=3)
+        b = spouse.generate(seed=3)
+        assert [d.content for d in a.documents] == [d.content for d in b.documents]
+
+    def test_seed_changes_output(self):
+        a = spouse.generate(seed=3)
+        b = spouse.generate(seed=4)
+        assert [d.content for d in a.documents] != [d.content for d in b.documents]
+
+    def test_gold_name_pairs(self, corpus):
+        gold = spouse.gold_name_pairs(corpus)
+        assert len(gold) <= 10
+        for a, b in gold:
+            assert a <= b
+
+
+class TestGeneticsCorpus:
+    def test_structure(self):
+        corpus = genetics.generate(genetics.GeneticsConfig(num_causal_pairs=5,
+                                                           num_comention_pairs=5),
+                                   seed=1)
+        assert len(corpus.truth["gene_phenotype"]) == 5
+        assert corpus.num_documents == 20
+
+    def test_gene_symbols_shape(self):
+        import re
+        corpus = genetics.generate(seed=0)
+        for gene, _ in corpus.truth["gene_phenotype"]:
+            assert re.match(r"^[A-Z]{3,4}\d$", gene)
+
+    def test_omim_subset_of_truth_mostly(self):
+        corpus = genetics.generate(seed=0)
+        truth = corpus.truth["gene_phenotype"]
+        errors = [pair for pair in corpus.kb["Omim"] if pair not in truth]
+        assert len(errors) <= 3
+
+
+class TestPharmaCorpus:
+    def test_structure(self):
+        corpus = pharma.generate(pharma.PharmaConfig(num_interactions=6,
+                                                     num_distractors=6), seed=2)
+        assert len(corpus.truth["drug_gene"]) == 6
+
+    def test_drug_names_have_suffix(self):
+        corpus = pharma.generate(seed=0)
+        for drug, _ in corpus.truth["drug_gene"]:
+            assert any(drug.endswith(s) for s in pharma.DRUG_SUFFIXES)
+
+
+class TestMaterialsCorpus:
+    def test_truth_has_both_properties(self):
+        corpus = materials.generate(seed=0)
+        props = {prop for _, prop, _ in corpus.truth["material_property"]}
+        assert props == {"electron_mobility", "band_gap"}
+
+    def test_values_in_range(self):
+        corpus = materials.generate(seed=0)
+        for _, prop, value in corpus.truth["material_property"]:
+            lo, hi = materials.PROPERTY_RANGES[prop]
+            assert lo <= float(value) <= hi
+
+    def test_distractor_documents_present(self):
+        corpus = materials.generate(seed=0)
+        assert any(d.doc_id.startswith("x") for d in corpus.documents)
+
+
+class TestAdsCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return ads.generate(ads.AdsConfig(num_ads=15), seed=4)
+
+    def test_truth_per_ad(self, corpus):
+        assert len(corpus.truth["ad_price"]) == 15
+        assert len(corpus.truth["ad_location"]) == 15
+        assert len(corpus.truth["ad_phone"]) == 15
+
+    def test_phones_unique(self, corpus):
+        phones = [p for _, p in corpus.truth["ad_phone"]]
+        assert len(set(phones)) == len(phones)
+
+    def test_forum_posts_reference_real_phones(self, corpus):
+        phones = {p for _, p in corpus.truth["ad_phone"]}
+        forum_docs = [d for d in corpus.documents if d.doc_id.startswith("forum")]
+        assert forum_docs
+        for doc in forum_docs:
+            assert any(p in doc.content for p in phones)
+
+    def test_known_kb_subset_of_truth(self, corpus):
+        assert set(corpus.kb["KnownPrice"]) <= corpus.truth["ad_price"]
+        assert set(corpus.kb["KnownLocation"]) <= corpus.truth["ad_location"]
+
+
+class TestBooksCorpus:
+    def test_catalog_covers_only_books(self):
+        corpus = books.generate(seed=0)
+        book_titles = set(corpus.metadata["book_titles"])
+        for title, _ in corpus.kb["Catalog"]:
+            assert title in book_titles
+
+    def test_movie_dict_disjoint_from_books(self):
+        corpus = books.generate(seed=0)
+        book_titles = set(corpus.metadata["book_titles"])
+        movie_titles = {t for (t,) in corpus.kb["MovieDict"]}
+        assert not (book_titles & movie_titles)
+
+    def test_truth_size(self):
+        corpus = books.generate(books.BooksConfig(num_books=12, num_movies=6), seed=0)
+        assert len(corpus.truth["book_price"]) == 12
+
+
+class TestPaleoCorpus:
+    def test_structure(self):
+        from repro.corpus import paleo
+        corpus = paleo.generate(paleo.PaleoConfig(num_occurrences=8,
+                                                  num_distractors=8), seed=1)
+        assert len(corpus.truth["occurrence"]) == 8
+        assert corpus.num_documents == 32
+
+    def test_taxa_have_suffixes(self):
+        from repro.corpus import paleo
+        corpus = paleo.generate(seed=0)
+        for taxon, _ in corpus.truth["occurrence"]:
+            assert any(taxon.lower().endswith(s) for s in paleo.GENUS_SUFFIXES)
+
+    def test_pbdb_mostly_subset_of_truth(self):
+        from repro.corpus import paleo
+        corpus = paleo.generate(seed=0)
+        errors = [p for p in corpus.kb["Pbdb"] if p not in corpus.truth["occurrence"]]
+        assert len(errors) <= 3

@@ -1,0 +1,99 @@
+"""Unit tests for schemas and column typing."""
+
+import pytest
+
+from repro.datastore import Column, ColumnType, Schema, SchemaError
+from repro.datastore.types import TypeError_, coerce
+
+
+class TestColumnType:
+    def test_coerce_text(self):
+        assert coerce("abc", ColumnType.TEXT) == "abc"
+
+    def test_coerce_int(self):
+        assert coerce(5, ColumnType.INT) == 5
+
+    def test_coerce_int_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce(True, ColumnType.INT)
+
+    def test_coerce_float_widens_int(self):
+        value = coerce(3, ColumnType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_coerce_bool(self):
+        assert coerce(True, ColumnType.BOOL) is True
+
+    def test_coerce_bool_rejects_int(self):
+        with pytest.raises(TypeError_):
+            coerce(1, ColumnType.BOOL)
+
+    def test_coerce_array_from_list(self):
+        assert coerce([1, 2], ColumnType.ARRAY) == (1, 2)
+
+    def test_coerce_array_rejects_scalar(self):
+        with pytest.raises(TypeError_):
+            coerce("abc", ColumnType.ARRAY)
+
+    def test_none_is_allowed_everywhere(self):
+        for ctype in ColumnType:
+            assert coerce(None, ctype) is None
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError_):
+            coerce("abc", ColumnType.INT)
+
+
+class TestSchema:
+    def test_of_builds_columns(self):
+        schema = Schema.of(doc_id="text", position="int")
+        assert schema.names == ("doc_id", "position")
+        assert schema.arity == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("a", ColumnType.INT), Column("a", ColumnType.TEXT)))
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+
+    def test_position_and_contains(self):
+        schema = Schema.of(a="int", b="text")
+        assert schema.position("b") == 1
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_position_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of(a="int").position("b")
+
+    def test_validate_row_coerces(self):
+        schema = Schema.of(a="int", b="array")
+        assert schema.validate_row([1, [2, 3]]) == (1, (2, 3))
+
+    def test_validate_row_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Schema.of(a="int").validate_row([1, 2])
+
+    def test_row_dict(self):
+        schema = Schema.of(a="int", b="text")
+        assert schema.row_dict((1, "x")) == {"a": 1, "b": "x"}
+
+    def test_project_reorders(self):
+        schema = Schema.of(a="int", b="text", c="float")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema.of(a="int", b="text").rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_concat_prefixes_conflicts(self):
+        left = Schema.of(a="int", b="text")
+        right = Schema.of(b="text", c="int")
+        assert left.concat(right).names == ("a", "b", "r_b", "c")
+
+    def test_equality_is_structural(self):
+        assert Schema.of(a="int") == Schema.of(a="int")
+        assert Schema.of(a="int") != Schema.of(a="text")

@@ -1,0 +1,186 @@
+"""Tests for the SQL subset used in error analysis (paper Section 3.4)."""
+
+import pytest
+
+from repro.datastore import Database
+from repro.datastore.sql import SqlError, execute
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create("emp", name="text", dept="text", salary="int")
+    db.insert("emp", [
+        ("alice", "eng", 100), ("bob", "eng", 90),
+        ("carol", "sales", 80), ("dan", "sales", 85),
+        ("erin", "ops", None),
+    ])
+    db.create("dept", dept="text", floor="int")
+    db.insert("dept", [("eng", 3), ("sales", 1), ("ops", 2)])
+    return db
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        result = execute(db, "SELECT * FROM emp")
+        assert len(result) == 5
+        assert result.columns == ("name", "dept", "salary")
+
+    def test_select_columns(self, db):
+        result = execute(db, "SELECT name, salary FROM emp WHERE dept = 'eng'")
+        assert set(result) == {("alice", 100), ("bob", 90)}
+
+    def test_column_alias(self, db):
+        result = execute(db, "SELECT name AS who FROM emp LIMIT 1")
+        assert result.columns == ("who",)
+
+    def test_keywords_case_insensitive(self, db):
+        result = execute(db, "select name from emp where salary > 95")
+        assert list(result) == [("alice",)]
+
+
+class TestWhere:
+    def test_numeric_comparison(self, db):
+        result = execute(db, "SELECT name FROM emp WHERE salary >= 90")
+        assert set(result) == {("alice",), ("bob",)}
+
+    def test_and_conjunction(self, db):
+        result = execute(db,
+                         "SELECT name FROM emp WHERE dept = 'sales' AND salary > 80")
+        assert list(result) == [("dan",)]
+
+    def test_inequality_forms(self, db):
+        ne = execute(db, "SELECT name FROM emp WHERE dept != 'eng'")
+        ne2 = execute(db, "SELECT name FROM emp WHERE dept <> 'eng'")
+        assert set(ne) == set(ne2)
+
+    def test_column_to_column(self, db):
+        db.create("pair", a="int", b="int")
+        db.insert("pair", [(1, 1), (1, 2)])
+        result = execute(db, "SELECT a FROM pair WHERE a = b")
+        assert list(result) == [(1,)]
+
+    def test_null_never_matches(self, db):
+        result = execute(db, "SELECT name FROM emp WHERE salary < 1000")
+        assert ("erin",) not in set(result)
+
+    def test_string_escaping(self, db):
+        db.create("notes", text="text")
+        db.insert("notes", [("it''s",)])  # not actually escaped in insert
+        db.insert("notes", [("it's",)])
+        result = execute(db, "SELECT text FROM notes WHERE text = 'it''s'")
+        assert ("it's",) in set(result)
+
+
+class TestJoin:
+    def test_join_on(self, db):
+        result = execute(db, """
+            SELECT e.name, d.floor FROM emp e
+            JOIN dept d ON e.dept = d.dept
+            WHERE d.floor = 3
+        """)
+        assert set(result) == {("alice", 3), ("bob", 3)}
+
+    def test_join_reversed_on(self, db):
+        result = execute(db, """
+            SELECT e.name FROM emp e JOIN dept d ON d.dept = e.dept
+            WHERE d.floor = 1
+        """)
+        assert set(result) == {("carol",), ("dan",)}
+
+    def test_ambiguous_column_rejected(self, db):
+        # self-join: 'name' exists on both sides
+        with pytest.raises(SqlError, match="ambiguous"):
+            execute(db, "SELECT name FROM emp a JOIN emp b ON a.dept = b.dept")
+
+    def test_join_drops_duplicate_key_column(self, db):
+        # natural-join semantics: the right join column is dropped, so the
+        # unqualified key resolves to the surviving left column
+        result = execute(db, "SELECT dept FROM emp e JOIN dept d "
+                             "ON e.dept = d.dept WHERE d.floor = 2")
+        assert list(result) == [("ops",)]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        result = execute(db, "SELECT COUNT(*) FROM emp")
+        assert list(result) == [(5,)]
+
+    def test_group_by_count(self, db):
+        result = execute(db,
+                         "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept")
+        assert set(result) == {("eng", 2), ("sales", 2), ("ops", 1)}
+
+    def test_multiple_aggregates(self, db):
+        result = execute(db, """
+            SELECT dept, MIN(salary) AS lo, MAX(salary) AS hi
+            FROM emp GROUP BY dept
+        """)
+        assert ("eng", 90, 100) in set(result)
+
+    def test_avg_skips_nulls(self, db):
+        result = execute(db, "SELECT dept, AVG(salary) AS mean FROM emp "
+                             "GROUP BY dept")
+        rows = dict((d, m) for d, m in result)
+        assert rows["ops"] is None
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            execute(db, "SELECT name, COUNT(*) FROM emp GROUP BY dept")
+
+
+class TestOrderLimit:
+    def test_order_by(self, db):
+        result = execute(db, "SELECT name FROM emp WHERE salary > 0 "
+                             "ORDER BY name")
+        assert [r[0] for r in result] == ["alice", "bob", "carol", "dan"]
+
+    def test_order_by_desc(self, db):
+        result = execute(db, "SELECT name, salary FROM emp "
+                             "WHERE dept = 'eng' ORDER BY salary DESC")
+        assert [r[0] for r in result] == ["alice", "bob"]
+
+    def test_order_by_aggregate_alias(self, db):
+        result = execute(db, "SELECT dept, COUNT(*) AS n FROM emp "
+                             "GROUP BY dept ORDER BY n DESC")
+        assert result.rows[0][1] == 2
+
+    def test_limit(self, db):
+        assert len(execute(db, "SELECT * FROM emp LIMIT 2")) == 2
+
+
+class TestErrors:
+    def test_unknown_relation(self, db):
+        with pytest.raises(SqlError, match="no relation"):
+            execute(db, "SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlError, match="no column"):
+            execute(db, "SELECT wat FROM emp")
+
+    def test_syntax_error(self, db):
+        with pytest.raises(SqlError):
+            execute(db, "SELECT FROM emp")
+
+    def test_trailing_garbage(self, db):
+        with pytest.raises(SqlError, match="trailing"):
+            execute(db, "SELECT * FROM emp extra stuff here")
+
+    def test_bad_character(self, db):
+        with pytest.raises(SqlError):
+            execute(db, "SELECT * FROM emp WHERE name = @")
+
+
+class TestPresentation:
+    def test_to_dicts(self, db):
+        rows = execute(db, "SELECT name FROM emp WHERE dept = 'ops'").to_dicts()
+        assert rows == [{"name": "erin"}]
+
+    def test_pretty(self, db):
+        text = execute(db, "SELECT dept, COUNT(*) AS n FROM emp "
+                           "GROUP BY dept").pretty()
+        assert "dept" in text and "n" in text
+
+    def test_pretty_truncates(self, db):
+        text = execute(db, "SELECT * FROM emp").pretty(limit=2)
+        assert "more rows" in text

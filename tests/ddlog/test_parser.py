@@ -1,0 +1,198 @@
+"""Parser tests: the paper's example rules must parse into the right AST."""
+
+import pytest
+
+from repro.ddlog import (Comparison, Const, DDlogSyntaxError, FixedWeight,
+                         HeadConnective, PerRuleWeight, RuleKind, UdfBinding,
+                         UdfCondition, UdfWeight, Var, VarWeight,
+                         parse_program)
+
+PAPER_PROGRAM = """
+# Relations from Figure 3 of the paper.
+Sentence(sentence_key text, content text).
+PersonCandidate(sentence_key text, mention_id text).
+MarriedCandidate(m1 text, m2 text).
+MarriedMentions?(m1 text, m2 text).
+EL(mention_id text, entity_id text).
+Married(e1 text, e2 text).
+
+(R1) MarriedCandidate(m1, m2) :-
+    PersonCandidate(s, m1), PersonCandidate(s, m2), [m1 < m2].
+
+(FE1) MarriedMentions(m1, m2) :-
+    MarriedCandidate(m1, m2), Sentence(s, sent)
+    weight = phrase(m1, m2, sent).
+
+(S1) MarriedMentions_Ev(m1, m2, true) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+"""
+
+
+# Rule labels like "(R1)" are not part of our grammar; strip them first.
+def clean(source: str) -> str:
+    import re
+    return re.sub(r"\(([A-Z]+\d+)\)\s*", "", source)
+
+
+class TestDeclarations:
+    def test_plain_declaration(self):
+        ast = parse_program("Person(name text, age int).")
+        decl = ast.declarations[0]
+        assert decl.name == "Person"
+        assert decl.columns == (("name", "text"), ("age", "int"))
+        assert not decl.is_variable
+
+    def test_variable_declaration(self):
+        ast = parse_program("Married?(m1 text, m2 text).")
+        assert ast.declarations[0].is_variable
+
+    def test_comments_ignored(self):
+        ast = parse_program("# comment\n// another\nR(a int).")
+        assert len(ast.declarations) == 1
+
+
+class TestPaperProgram:
+    def test_parses_fully(self):
+        ast = parse_program(clean(PAPER_PROGRAM))
+        assert len(ast.declarations) == 6
+        assert len(ast.rules) == 3
+
+    def test_rule_kinds(self):
+        ast = parse_program(clean(PAPER_PROGRAM))
+        kinds = [rule.kind for rule in ast.rules]
+        assert kinds == [RuleKind.DERIVATION, RuleKind.FEATURE, RuleKind.SUPERVISION]
+
+    def test_candidate_mapping_structure(self):
+        rule = parse_program(clean(PAPER_PROGRAM)).rules[0]
+        assert rule.head.relation == "MarriedCandidate"
+        assert rule.head.terms == (Var("m1"), Var("m2"))
+        atoms = [i for i in rule.body if hasattr(i, "relation")]
+        assert [a.relation for a in atoms] == ["PersonCandidate", "PersonCandidate"]
+        condition = rule.body[-1]
+        assert isinstance(condition, Comparison)
+        assert condition.op == "<"
+
+    def test_feature_rule_weight(self):
+        rule = parse_program(clean(PAPER_PROGRAM)).rules[1]
+        assert isinstance(rule.weight, UdfWeight)
+        assert rule.weight.udf == "phrase"
+        assert rule.weight.args == (Var("m1"), Var("m2"), Var("sent"))
+
+    def test_supervision_label_constant(self):
+        rule = parse_program(clean(PAPER_PROGRAM)).rules[2]
+        assert rule.head.terms[-1] == Const(True)
+
+    def test_rule_text_captured(self):
+        rule = parse_program(clean(PAPER_PROGRAM)).rules[0]
+        assert rule.text.startswith("MarriedCandidate(m1, m2)")
+
+
+class TestInferenceRules:
+    SOURCE = """
+    A?(x text).
+    B?(x text).
+    Link(x text, y text).
+    A(x) => B(y) :- Link(x, y) weight = 2.5.
+    A(x) = B(x) :- Link(x, x) weight = ?.
+    !A(x) & B(y) :- Link(x, y) weight = 1.0.
+    """
+
+    def test_imply(self):
+        rule = parse_program(self.SOURCE).rules[0]
+        assert rule.kind == RuleKind.INFERENCE
+        assert rule.connective == HeadConnective.IMPLY
+        assert isinstance(rule.weight, FixedWeight)
+        assert rule.weight.value == 2.5
+
+    def test_equal_with_per_rule_weight(self):
+        rule = parse_program(self.SOURCE).rules[1]
+        assert rule.connective == HeadConnective.EQUAL
+        assert isinstance(rule.weight, PerRuleWeight)
+
+    def test_negated_head(self):
+        rule = parse_program(self.SOURCE).rules[2]
+        assert rule.heads[0].negated
+        assert not rule.heads[1].negated
+        assert rule.connective == HeadConnective.AND
+
+
+class TestBodyItems:
+    def test_udf_binding(self):
+        ast = parse_program("""
+        R(a text, b text).
+        Q(a text, p text).
+        Q(a, p) :- R(a, b), p = phrase(a, b).
+        """)
+        binding = ast.rules[0].body[1]
+        assert isinstance(binding, UdfBinding)
+        assert binding.target == "p"
+        assert binding.udf == "phrase"
+
+    def test_udf_condition(self):
+        ast = parse_program("""
+        R(a text).
+        Q(a text).
+        Q(a) :- R(a), [is_title(a)].
+        """)
+        condition = ast.rules[0].body[1]
+        assert isinstance(condition, UdfCondition)
+        assert not condition.negated
+
+    def test_negated_udf_condition(self):
+        ast = parse_program("""
+        R(a text).
+        Q(a text).
+        Q(a) :- R(a), [!in_movie_dict(a)].
+        """)
+        assert ast.rules[0].body[1].negated
+
+    def test_constant_terms(self):
+        ast = parse_program("""
+        R(a text, n int).
+        Q(a text).
+        Q(a) :- R(a, 5), [a != "none"].
+        """)
+        atom = ast.rules[0].body[0]
+        assert atom.terms[1] == Const(5)
+        condition = ast.rules[0].body[1]
+        assert condition.right == Const("none")
+
+    def test_var_weight(self):
+        ast = parse_program("""
+        R(a text, f text).
+        Q?(a text).
+        Q(a) :- R(a, f) weight = f.
+        """)
+        assert isinstance(ast.rules[0].weight, VarWeight)
+        assert ast.rules[0].weight.var == "f"
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(DDlogSyntaxError):
+            parse_program("R(a text)")
+
+    def test_bad_character(self):
+        with pytest.raises(DDlogSyntaxError):
+            parse_program("R(a text). ~")
+
+    def test_mixed_connectives(self):
+        with pytest.raises(DDlogSyntaxError):
+            parse_program("""
+            A?(x text).
+            L(x text, y text).
+            A(x) => A(y) & A(x) :- L(x, y) weight = 1.0.
+            """)
+
+    def test_bad_weight(self):
+        with pytest.raises(DDlogSyntaxError):
+            parse_program("""
+            A?(x text).
+            L(x text).
+            A(x) :- L(x) weight = [.
+            """)
+
+    def test_error_has_position(self):
+        with pytest.raises(DDlogSyntaxError) as excinfo:
+            parse_program("R(a text). ~")
+        assert "line 1" in str(excinfo.value)

@@ -1,0 +1,81 @@
+"""Failure injection: UDFs that raise must surface debuggable errors."""
+
+import pytest
+
+from repro.datastore import Database
+from repro.ddlog import DDlogProgram, compile_body
+from repro.ddlog.compiler import UdfError
+from repro.grounding import Grounder
+
+
+def broken_program(kind: str):
+    program = DDlogProgram.parse("""
+    R(a text).
+    Q?(a text).
+    Q(a) :- R(a), [check(a)] weight = feats(a).
+    """)
+    if kind == "condition":
+        program.register_udf("check",
+                             lambda a: (_ for _ in ()).throw(ValueError("boom")),
+                             returns="bool")
+        program.register_udf("feats", lambda a: a)
+    else:
+        program.register_udf("check", lambda a: True, returns="bool")
+        program.register_udf("feats",
+                             lambda a: (_ for _ in ()).throw(KeyError("boom")))
+    db = Database()
+    program.create_relations(db)
+    db.insert("R", [("payload_row",)])
+    return program, db
+
+
+class TestUdfErrors:
+    def test_condition_udf_error_names_the_udf(self):
+        program, db = broken_program("condition")
+        with pytest.raises(UdfError, match="check"):
+            Grounder(program, db)
+
+    def test_condition_udf_error_shows_arguments(self):
+        program, db = broken_program("condition")
+        with pytest.raises(UdfError, match="payload_row"):
+            Grounder(program, db)
+
+    def test_weight_udf_error_names_the_udf(self):
+        program, db = broken_program("weight")
+        with pytest.raises(UdfError, match="feats"):
+            Grounder(program, db)
+
+    def test_original_exception_chained(self):
+        program, db = broken_program("weight")
+        with pytest.raises(UdfError) as excinfo:
+            Grounder(program, db)
+        assert isinstance(excinfo.value.original, KeyError)
+
+    def test_binding_udf_error(self):
+        program = DDlogProgram.parse("""
+        R(a text).
+        Q(a text, b text).
+        Q(a, b) :- R(a), b = mangle(a).
+        """)
+        program.register_udf("mangle",
+                             lambda a: (_ for _ in ()).throw(TypeError("nope")))
+        db = Database()
+        program.create_relations(db)
+        db.insert("R", [("x",)])
+        rule = program.derivation_rules[0]
+        plan = compile_body(rule, program.declarations, program.udfs)
+        with pytest.raises(UdfError, match="mangle"):
+            plan.evaluate(db)
+
+    def test_healthy_udfs_unaffected(self):
+        program = DDlogProgram.parse("""
+        R(a text).
+        Q?(a text).
+        Q(a) :- R(a) weight = feats(a).
+        """)
+        program.register_udf("feats", lambda a: f"f:{a}")
+        db = Database()
+        program.create_relations(db)
+        db.insert("R", [("x",)])
+        grounder = Grounder(program, db)
+        assert grounder.graph.num_factors == 1

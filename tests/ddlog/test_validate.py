@@ -1,0 +1,143 @@
+"""Validation tests: bad programs must be rejected with clear messages."""
+
+import pytest
+
+from repro.ddlog import DDlogValidationError, parse_program, validate_program
+from repro.ddlog.validate import evidence_base
+
+
+def check(source: str, udfs: set[str] | None = None) -> None:
+    validate_program(parse_program(source), udfs)
+
+
+GOOD = """
+Sentence(s text, content text).
+PersonCandidate(s text, m text).
+MarriedCandidate(m1 text, m2 text).
+MarriedMentions?(m1 text, m2 text).
+EL(m text, e text).
+Married(e1 text, e2 text).
+
+MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), [m1 < m2].
+MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2), Sentence(s, sent)
+    weight = phrase(m1, m2, sent).
+MarriedMentions_Ev(m1, m2, true) :- MarriedCandidate(m1, m2), EL(m1, e1),
+    EL(m2, e2), Married(e1, e2).
+MarriedMentions(m1, m2) => MarriedMentions(m2, m1) :- MarriedCandidate(m1, m2)
+    weight = 3.0.
+"""
+
+
+class TestGoodProgram:
+    def test_valid_without_udf_check(self):
+        check(GOOD)
+
+    def test_valid_with_registered_udfs(self):
+        check(GOOD, udfs={"phrase"})
+
+    def test_unregistered_udf_rejected(self):
+        with pytest.raises(DDlogValidationError, match="phrase"):
+            check(GOOD, udfs=set())
+
+
+class TestDeclarationErrors:
+    def test_duplicate_declaration(self):
+        with pytest.raises(DDlogValidationError, match="declared twice"):
+            check("R(a text). R(a text).")
+
+    def test_unknown_type(self):
+        with pytest.raises(DDlogValidationError, match="unknown type"):
+            check("R(a blob).")
+
+    def test_duplicate_columns(self):
+        with pytest.raises(DDlogValidationError, match="duplicate columns"):
+            check("R(a text, a int).")
+
+
+class TestRuleErrors:
+    def test_undeclared_body_relation(self):
+        with pytest.raises(DDlogValidationError, match="undeclared relation"):
+            check("Q(a text). Q(a) :- Missing(a).")
+
+    def test_undeclared_head_relation(self):
+        with pytest.raises(DDlogValidationError, match="undeclared head"):
+            check("R(a text). Missing(a) :- R(a).")
+
+    def test_body_arity_mismatch(self):
+        with pytest.raises(DDlogValidationError, match="arity"):
+            check("R(a text, b text). Q(a text). Q(a) :- R(a).")
+
+    def test_unbound_head_variable(self):
+        with pytest.raises(DDlogValidationError, match="not bound"):
+            check("R(a text). Q(a text, b text). Q(a, z) :- R(a).")
+
+    def test_unbound_comparison(self):
+        with pytest.raises(DDlogValidationError, match="unbound"):
+            check("R(a text). Q(a text). Q(a) :- R(a), [z == a].")
+
+    def test_udf_arg_before_binding(self):
+        with pytest.raises(DDlogValidationError, match="before binding"):
+            check("R(a text). Q(a text). Q(a) :- R(a), z = f(missing).")
+
+    def test_no_relation_atom(self):
+        # a body of only conditions is unsafe
+        with pytest.raises(DDlogValidationError):
+            check("Q(a text). Q(a) :- [a == a].")
+
+
+class TestKindSpecificErrors:
+    def test_feature_rule_needs_weight(self):
+        with pytest.raises(DDlogValidationError, match="weight"):
+            check("R(a text). Q?(a text). Q(a) :- R(a).")
+
+    def test_derivation_rule_cannot_have_weight(self):
+        # weight on a non-variable head classifies as FEATURE, then fails the
+        # variable-relation requirement
+        with pytest.raises(DDlogValidationError, match="variable relation"):
+            check("R(a text). Q(a text). Q(a) :- R(a) weight = 1.0.")
+
+    def test_inference_head_must_be_variable_relation(self):
+        with pytest.raises(DDlogValidationError, match="variable relation"):
+            check("""
+            R(a text). Q(a text). P?(a text).
+            P(a) => Q(a) :- R(a) weight = 1.0.
+            """)
+
+    def test_evidence_without_variable_relation(self):
+        with pytest.raises(DDlogValidationError, match="variable relation"):
+            check("R(a text). Foo_Ev(a, true) :- R(a).")
+
+    def test_evidence_arity(self):
+        with pytest.raises(DDlogValidationError, match="arity"):
+            check("R(a text). Q?(a text, b text). Q_Ev(a, true) :- R(a).")
+
+    def test_evidence_label_not_bool(self):
+        with pytest.raises(DDlogValidationError, match="label"):
+            check('R(a text). Q?(a text). Q_Ev(a, "yes") :- R(a).')
+
+    def test_negated_head_outside_inference(self):
+        with pytest.raises(DDlogValidationError, match="negated head"):
+            check("R(a text). Q(a text). !Q(a) :- R(a).")
+
+    def test_equal_connective_arity(self):
+        with pytest.raises(DDlogValidationError, match="exactly two"):
+            check("""
+            R(a text). P?(a text).
+            P(a) = P(a) = P(a) :- R(a) weight = 1.0.
+            """)
+
+    def test_weight_udf_unbound_arg(self):
+        with pytest.raises(DDlogValidationError, match="unbound"):
+            check("R(a text). Q?(a text). Q(a) :- R(a) weight = f(zzz).")
+
+    def test_weight_var_unbound(self):
+        with pytest.raises(DDlogValidationError, match="unbound"):
+            check("R(a text). Q?(a text). Q(a) :- R(a) weight = zzz.")
+
+
+class TestEvidenceBase:
+    def test_suffix_stripped(self):
+        assert evidence_base("MarriedMentions_Ev") == "MarriedMentions"
+
+    def test_non_evidence(self):
+        assert evidence_base("MarriedMentions") is None

@@ -1,0 +1,100 @@
+"""Tests for the entity-linking substrate."""
+
+import pytest
+
+from repro.el import AliasTable, EntityLinker, link_mentions, normalize
+
+
+@pytest.fixture
+def table():
+    table = AliasTable()
+    table.add_many([
+        ("E_obama", "Barack Obama"),
+        ("E_obama", "B. Obama"),
+        ("E_obama", "President Obama"),
+        ("E_michelle", "Michelle Obama"),
+        ("E_springfield_il", "Springfield"),
+        ("E_springfield_ma", "Springfield"),
+    ])
+    return table
+
+
+class TestNormalize:
+    def test_lowercase_and_punctuation(self):
+        assert normalize("B. Obama!") == "b obama"
+
+    def test_whitespace_collapsed(self):
+        assert normalize("  a   b ") == "a b"
+
+
+class TestAliasTable:
+    def test_aliases_of(self, table):
+        assert "B. Obama" in table.aliases_of("E_obama")
+
+    def test_num_entities(self, table):
+        assert table.num_entities == 4
+
+    def test_exact_lookup(self, table):
+        assert table.exact("Barack Obama") == {"E_obama"}
+
+    def test_ambiguous_alias(self, table):
+        assert table.normalized_match("springfield") == {
+            "E_springfield_il", "E_springfield_ma"}
+
+
+class TestEntityLinker:
+    def test_exact_match_scores_one(self, table):
+        linker = EntityLinker(table)
+        candidates = linker.link("Barack Obama")
+        assert candidates[0].entity == "E_obama"
+        assert candidates[0].score == 1.0
+        assert candidates[0].method == "exact"
+
+    def test_normalized_match(self, table):
+        linker = EntityLinker(table)
+        candidates = linker.link("barack obama")
+        assert candidates[0].entity == "E_obama"
+        assert candidates[0].method == "normalized"
+
+    def test_token_overlap_match(self, table):
+        linker = EntityLinker(table)
+        candidates = linker.link("Obama")
+        entities = {c.entity for c in candidates}
+        assert "E_obama" in entities
+        assert all(c.method == "overlap" for c in candidates)
+
+    def test_no_match(self, table):
+        assert EntityLinker(table).link("Zebra") == []
+
+    def test_ambiguity_preserved(self, table):
+        candidates = EntityLinker(table).link("Springfield")
+        assert {c.entity for c in candidates} == {
+            "E_springfield_il", "E_springfield_ma"}
+
+    def test_top_limits(self, table):
+        assert len(EntityLinker(table).link("Springfield", top=1)) == 1
+
+    def test_min_overlap_threshold(self, table):
+        strict = EntityLinker(table, min_overlap=0.9)
+        # "Obama" vs "Barack Obama": jaccard 1/2 -> filtered when strict
+        assert all(c.method != "overlap" for c in strict.link("Obama"))
+
+    def test_ranking_deterministic(self, table):
+        linker = EntityLinker(table)
+        assert linker.link("Springfield") == linker.link("Springfield")
+
+
+class TestLinkMentions:
+    def test_bulk_linking(self, table):
+        linker = EntityLinker(table)
+        rows = link_mentions([("m1", "Barack Obama"), ("m2", "Zebra"),
+                              ("m3", "Springfield")], linker)
+        assert ("m1", "E_obama") in rows
+        assert all(mid != "m2" for mid, _ in rows)
+        springfield_rows = [r for r in rows if r[0] == "m3"]
+        assert len(springfield_rows) == 2
+
+    def test_min_score_filters(self, table):
+        linker = EntityLinker(table)
+        rows = link_mentions([("m1", "Obama")], linker, min_score=0.99)
+        assert rows == []

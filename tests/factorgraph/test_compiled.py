@@ -1,0 +1,129 @@
+"""Tests for the compiled CSR graph and factor-function semantics."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (CompiledGraph, FactorFunction, FactorGraph,
+                               evaluate)
+
+
+def simple_graph():
+    graph = FactorGraph()
+    a = graph.variable("a")
+    b = graph.variable("b")
+    c = graph.variable("c")
+    w1 = graph.weight("w1", 2.0)
+    w2 = graph.weight("w2", -1.0)
+    graph.add_factor(FactorFunction.IS_TRUE, [a], w1)
+    graph.add_factor(FactorFunction.IS_TRUE, [b], w1, negated=[True])
+    graph.add_factor(FactorFunction.IMPLY, [a, c], w2)
+    graph.add_factor(FactorFunction.EQUAL, [b, c], w2)
+    return graph
+
+
+class TestEvaluate:
+    def test_is_true(self):
+        assert evaluate(FactorFunction.IS_TRUE, np.array([True])) == 1
+        assert evaluate(FactorFunction.IS_TRUE, np.array([False])) == 0
+
+    def test_imply(self):
+        # body=True head=False is the only violating world
+        assert evaluate(FactorFunction.IMPLY, np.array([True, False])) == 0
+        assert evaluate(FactorFunction.IMPLY, np.array([True, True])) == 1
+        assert evaluate(FactorFunction.IMPLY, np.array([False, False])) == 1
+
+    def test_imply_multi_body(self):
+        assert evaluate(FactorFunction.IMPLY, np.array([True, True, False])) == 0
+        assert evaluate(FactorFunction.IMPLY, np.array([True, False, False])) == 1
+
+    def test_and_or(self):
+        assert evaluate(FactorFunction.AND, np.array([True, True])) == 1
+        assert evaluate(FactorFunction.AND, np.array([True, False])) == 0
+        assert evaluate(FactorFunction.OR, np.array([False, True])) == 1
+        assert evaluate(FactorFunction.OR, np.array([False, False])) == 0
+
+    def test_equal(self):
+        assert evaluate(FactorFunction.EQUAL, np.array([True, True])) == 1
+        assert evaluate(FactorFunction.EQUAL, np.array([False, True])) == 0
+
+
+class TestCompiledGraph:
+    def test_sizes(self):
+        compiled = CompiledGraph(simple_graph())
+        assert compiled.num_variables == 3
+        assert compiled.num_unary == 2
+        assert compiled.num_general == 2
+        assert compiled.num_factors == 4
+
+    def test_unary_deltas(self):
+        compiled = CompiledGraph(simple_graph())
+        deltas = compiled.unary_deltas()
+        # a: +w1 = +2; b: negated literal -> -w1 = -2; c: no unary factor
+        assert deltas[compiled.variable_index("a")] == pytest.approx(2.0)
+        assert deltas[compiled.variable_index("b")] == pytest.approx(-2.0)
+        assert deltas[compiled.variable_index("c")] == pytest.approx(0.0)
+
+    def test_general_factor_value(self):
+        compiled = CompiledGraph(simple_graph())
+        a = compiled.variable_index("a")
+        c = compiled.variable_index("c")
+        world = np.zeros(3, dtype=bool)
+        world[a] = True  # a=1, c=0 violates IMPLY(a->c)
+        imply_index = int(np.nonzero(
+            compiled.general_function == FactorFunction.IMPLY)[0][0])
+        assert compiled.general_factor_value(imply_index, world) == 0
+        world[c] = True
+        assert compiled.general_factor_value(imply_index, world) == 1
+
+    def test_general_delta_matches_bruteforce(self):
+        compiled = CompiledGraph(simple_graph())
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            world = rng.random(3) < 0.5
+            for var in range(3):
+                w1 = world.copy()
+                w1[var] = True
+                w0 = world.copy()
+                w0[var] = False
+                expected = sum(
+                    compiled.weight_values[compiled.general_weight[fi]]
+                    * (compiled.general_factor_value(fi, w1)
+                       - compiled.general_factor_value(fi, w0))
+                    for fi in range(compiled.num_general))
+                assert compiled.general_delta(var, world) == pytest.approx(expected)
+
+    def test_unary_value_sums(self):
+        compiled = CompiledGraph(simple_graph())
+        a = compiled.variable_index("a")
+        b = compiled.variable_index("b")
+        world = np.zeros(3, dtype=bool)
+        world[a] = True
+        world[b] = False
+        sums = compiled.unary_value_sums(world)
+        # both unary factors tied to w1: IS_TRUE(a)=1, IS_TRUE(!b)=1
+        w1 = compiled.weight_keys.index("w1")
+        assert sums[w1] == pytest.approx(2.0)
+
+    def test_evidence_copied(self):
+        graph = simple_graph()
+        graph.set_evidence("a", True)
+        compiled = CompiledGraph(graph)
+        a = compiled.variable_index("a")
+        assert compiled.is_evidence[a]
+        assert compiled.evidence_values[a]
+
+    def test_export_weights_roundtrip(self):
+        graph = simple_graph()
+        compiled = CompiledGraph(graph)
+        compiled.weight_values[:] = [7.0, 8.0]
+        compiled.export_weights(graph)
+        assert graph.weight_by_key("w1").value in (7.0, 8.0)
+        assert {w.value for w in graph.weights.values()} == {7.0, 8.0}
+
+    def test_column_row_csr_consistent(self):
+        compiled = CompiledGraph(simple_graph())
+        # every (factor, var) edge in row CSR appears in column CSR
+        for fi in range(compiled.num_general):
+            for v in compiled.fv_vars[compiled.fv_indptr[fi]:compiled.fv_indptr[fi + 1]]:
+                factors = compiled.vf_factors[compiled.vf_indptr[v]:compiled.vf_indptr[v + 1]]
+                assert fi in factors

@@ -1,0 +1,96 @@
+"""Tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import (check_convergence, effective_samples, split_r_hat)
+
+
+def easy_graph(n=10):
+    graph = FactorGraph()
+    for i in range(n):
+        v = graph.variable(i)
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 0.5))
+    return CompiledGraph(graph)
+
+
+def coupled_graph(n=10, coupling=6.0):
+    """A strongly coupled chain: mixes very slowly."""
+    graph = FactorGraph()
+    prev = graph.variable(0)
+    for i in range(1, n):
+        cur = graph.variable(i)
+        graph.add_factor(FactorFunction.EQUAL, [prev, cur],
+                         graph.weight("c", coupling))
+        prev = cur
+    return CompiledGraph(graph)
+
+
+class TestSplitRHat:
+    def test_agreeing_chains_near_one(self):
+        chains = np.array([[0.5, 0.7], [0.5, 0.7], [0.52, 0.69]])
+        r = split_r_hat(chains)
+        assert (r < 1.05).all()
+
+    def test_disagreeing_chains_large(self):
+        chains = np.array([[0.9, 0.5], [0.1, 0.5]])
+        r = split_r_hat(chains)
+        assert r[0] > 1.5
+        assert r[1] < 1.1
+
+    def test_requires_two_chains(self):
+        with pytest.raises(ValueError):
+            split_r_hat(np.array([[0.5]]))
+
+
+class TestEffectiveSamples:
+    def test_iid_draws_full_size(self):
+        rng = np.random.default_rng(0)
+        draws = rng.random(500) < 0.5
+        assert effective_samples(draws) > 250
+
+    def test_sticky_draws_shrink(self):
+        # long runs of identical values -> high autocorrelation
+        draws = np.repeat([0, 1, 0, 1, 0, 1], 50)
+        assert effective_samples(draws) < 100
+
+    def test_constant_sequence(self):
+        assert effective_samples(np.ones(100)) == 100.0
+
+    def test_tiny_sequence(self):
+        assert effective_samples(np.array([1, 0])) == 2.0
+
+
+class TestCheckConvergence:
+    def test_easy_graph_converges(self):
+        report = check_convergence(easy_graph(), num_chains=3,
+                                   num_samples=150, burn_in=20)
+        assert report.converged
+        assert report.max_r_hat < 1.1
+
+    def test_slow_mixing_detected(self):
+        report = check_convergence(coupled_graph(n=14, coupling=8.0),
+                                   num_chains=4, num_samples=40, burn_in=2)
+        assert not report.converged
+
+    def test_worst_variables_listed(self):
+        compiled = coupled_graph(n=8, coupling=8.0)
+        report = check_convergence(compiled, num_chains=4,
+                                   num_samples=30, burn_in=2)
+        worst = report.worst_variables(compiled, top=3)
+        assert len(worst) == 3
+        assert worst[0][1] >= worst[1][1] >= worst[2][1]
+
+    def test_evidence_excluded(self):
+        graph = FactorGraph()
+        v = graph.variable("x")
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 0.0))
+        graph.set_evidence("x", True)
+        report = check_convergence(CompiledGraph(graph), num_chains=2,
+                                   num_samples=20, burn_in=2)
+        assert report.r_hat[0] == 1.0
+
+    def test_single_chain_rejected(self):
+        with pytest.raises(ValueError):
+            check_convergence(easy_graph(), num_chains=1)

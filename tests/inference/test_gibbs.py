@@ -1,0 +1,169 @@
+"""Correctness tests for the Gibbs sampler: estimated marginals must match
+exact enumeration on small graphs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import GibbsSampler, sigmoid
+
+
+def exact_marginals(compiled: CompiledGraph) -> np.ndarray:
+    """Brute-force marginals by enumerating all possible worlds."""
+    n = compiled.num_variables
+    log_weights = []
+    worlds = []
+    for bits in itertools.product([False, True], repeat=n):
+        world = np.array(bits)
+        if compiled.is_evidence.any():
+            if not (world[compiled.is_evidence]
+                    == compiled.evidence_values[compiled.is_evidence]).all():
+                continue
+        lw = float(np.dot(compiled.unary_value_sums(world), compiled.weight_values))
+        lw += float(np.dot(compiled.general_value_sums(world), compiled.weight_values))
+        log_weights.append(lw)
+        worlds.append(world)
+    log_weights = np.array(log_weights)
+    probs = np.exp(log_weights - log_weights.max())
+    probs /= probs.sum()
+    return np.einsum("w,wv->v", probs, np.array(worlds, dtype=float))
+
+
+def assert_close_to_exact(graph: FactorGraph, atol: float = 0.03) -> None:
+    compiled = CompiledGraph(graph)
+    sampler = GibbsSampler(compiled, seed=7)
+    result = sampler.marginals(num_samples=6000, burn_in=300)
+    expected = exact_marginals(compiled)
+    np.testing.assert_allclose(result.marginals, expected, atol=atol)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        out = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert out[0] + out[2] == pytest.approx(1.0)
+
+
+class TestSingleVariable:
+    def test_unary_marginal(self):
+        graph = FactorGraph()
+        v = graph.variable("x")
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 1.5))
+        assert_close_to_exact(graph)
+
+    def test_negated_unary(self):
+        graph = FactorGraph()
+        v = graph.variable("x")
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 2.0),
+                         negated=[True])
+        assert_close_to_exact(graph)
+
+
+class TestPairwise:
+    def test_imply_chain(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("wa", 1.0))
+        graph.add_factor(FactorFunction.IMPLY, [a, b], graph.weight("wi", 2.0))
+        assert_close_to_exact(graph)
+
+    def test_equal_coupling(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("wa", 1.2))
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("we", 1.5))
+        assert_close_to_exact(graph)
+
+    def test_or_factor(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        c = graph.variable("c")
+        graph.add_factor(FactorFunction.OR, [a, b, c], graph.weight("wo", 2.0))
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("wa", -1.0))
+        assert_close_to_exact(graph)
+
+    def test_and_with_negation(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.AND, [a, b], graph.weight("w", 1.5),
+                         negated=[False, True])
+        assert_close_to_exact(graph)
+
+
+class TestEvidence:
+    def test_clamped_evidence_respected(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("we", 3.0))
+        graph.set_evidence("a", True)
+        assert_close_to_exact(graph)
+
+    def test_evidence_reported_as_certain(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("w", -5.0))
+        graph.set_evidence("a", True)
+        compiled = CompiledGraph(graph)
+        result = GibbsSampler(compiled, seed=0).marginals(num_samples=50, burn_in=5)
+        assert result.marginals[compiled.variable_index("a")] == 1.0
+
+    def test_free_chain_resamples_evidence(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("w", 0.0))
+        graph.set_evidence("a", True)
+        compiled = CompiledGraph(graph)
+        sampler = GibbsSampler(compiled, seed=0, clamp_evidence=False)
+        world = sampler.initial_assignment()
+        seen = set()
+        for _ in range(50):
+            sampler.sweep(world)
+            seen.add(bool(world[0]))
+        assert seen == {True, False}
+
+
+class TestMechanics:
+    def test_sweep_returns_sample_count(self):
+        graph = FactorGraph()
+        for i in range(5):
+            v = graph.variable(f"v{i}")
+            graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 0.5))
+        graph.set_evidence("v0", True)
+        compiled = CompiledGraph(graph)
+        sampler = GibbsSampler(compiled, seed=0)
+        world = sampler.initial_assignment()
+        assert sampler.sweep(world) == 4  # evidence variable not resampled
+
+    def test_by_key(self):
+        graph = FactorGraph()
+        v = graph.variable("x")
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 0.0))
+        compiled = CompiledGraph(graph)
+        result = GibbsSampler(compiled, seed=1).marginals(num_samples=200, burn_in=10)
+        mapping = result.by_key(compiled)
+        assert set(mapping) == {"x"}
+        assert 0.3 < mapping["x"] < 0.7
+
+    def test_deterministic_under_seed(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IMPLY, [a, b], graph.weight("w", 1.0))
+        compiled = CompiledGraph(graph)
+        m1 = GibbsSampler(compiled, seed=3).marginals(num_samples=100, burn_in=10)
+        m2 = GibbsSampler(compiled, seed=3).marginals(num_samples=100, burn_in=10)
+        np.testing.assert_array_equal(m1.marginals, m2.marginals)

@@ -1,0 +1,127 @@
+"""Tests for weight learning: trained weights must make the evidence likely."""
+
+import numpy as np
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import (GibbsSampler, LearningOptions, learn_weights)
+
+
+def classifier_graph(num_positive=30, num_negative=30):
+    """A tiny classification problem: feature 'good' fires on positives,
+    feature 'bad' fires on negatives; labels come from evidence."""
+    graph = FactorGraph()
+    w_good = graph.weight("good")
+    w_bad = graph.weight("bad")
+    for i in range(num_positive):
+        v = graph.variable(("pos", i))
+        graph.add_factor(FactorFunction.IS_TRUE, [v], w_good)
+        graph.set_evidence(("pos", i), True)
+    for i in range(num_negative):
+        v = graph.variable(("neg", i))
+        graph.add_factor(FactorFunction.IS_TRUE, [v], w_bad)
+        graph.set_evidence(("neg", i), False)
+    # unlabeled query variables carrying each feature
+    q_good = graph.variable(("q", "good"))
+    graph.add_factor(FactorFunction.IS_TRUE, [q_good], w_good)
+    q_bad = graph.variable(("q", "bad"))
+    graph.add_factor(FactorFunction.IS_TRUE, [q_bad], w_bad)
+    return graph
+
+
+class TestLearning:
+    def test_weights_separate_features(self):
+        graph = classifier_graph()
+        compiled = CompiledGraph(graph)
+        learn_weights(compiled, LearningOptions(epochs=80, seed=0))
+        good = compiled.weight_keys.index("good")
+        bad = compiled.weight_keys.index("bad")
+        assert compiled.weight_values[good] > 0.5
+        assert compiled.weight_values[bad] < -0.5
+
+    def test_query_marginals_follow_learned_weights(self):
+        graph = classifier_graph()
+        compiled = CompiledGraph(graph)
+        learn_weights(compiled, LearningOptions(epochs=80, seed=0))
+        result = GibbsSampler(compiled, seed=1).marginals(num_samples=400, burn_in=40)
+        by_key = result.by_key(compiled)
+        assert by_key[("q", "good")] > 0.6
+        assert by_key[("q", "bad")] < 0.4
+
+    def test_fixed_weights_untouched(self):
+        graph = classifier_graph()
+        hard = graph.weight("hard_rule", initial_value=10.0, fixed=True)
+        v = graph.variable(("q", "good"))
+        graph.add_factor(FactorFunction.IS_TRUE, [v], hard)
+        compiled = CompiledGraph(graph)
+        learn_weights(compiled, LearningOptions(epochs=30, seed=0))
+        index = compiled.weight_keys.index("hard_rule")
+        assert compiled.weight_values[index] == 10.0
+
+    def test_diagnostics_recorded(self):
+        compiled = CompiledGraph(classifier_graph())
+        diagnostics = learn_weights(compiled, LearningOptions(epochs=25, seed=0))
+        assert diagnostics.epochs_run == 25
+        assert len(diagnostics.gradient_norms) == 25
+        assert len(diagnostics.weight_snapshots) >= 2
+        assert np.isfinite(diagnostics.final_gradient_norm)
+
+    def test_l2_shrinks_unobserved_weight(self):
+        graph = classifier_graph()
+        # a weight with no discriminative signal: equally often on pos and neg
+        w_noise = graph.weight("noise")
+        for i in range(10):
+            graph.add_factor(FactorFunction.IS_TRUE,
+                             [graph.variable_id(("pos", i))], w_noise)
+            graph.add_factor(FactorFunction.IS_TRUE,
+                             [graph.variable_id(("neg", i))], w_noise)
+        compiled = CompiledGraph(graph)
+        learn_weights(compiled, LearningOptions(epochs=80, l2=0.05, seed=0))
+        noise = compiled.weight_values[compiled.weight_keys.index("noise")]
+        good = compiled.weight_values[compiled.weight_keys.index("good")]
+        assert abs(noise) < abs(good)
+
+    def test_deterministic_under_seed(self):
+        c1 = CompiledGraph(classifier_graph())
+        c2 = CompiledGraph(classifier_graph())
+        learn_weights(c1, LearningOptions(epochs=15, seed=5))
+        learn_weights(c2, LearningOptions(epochs=15, seed=5))
+        np.testing.assert_array_equal(c1.weight_values, c2.weight_values)
+
+
+class TestAdaGrad:
+    def test_adagrad_separates_features(self):
+        graph = classifier_graph()
+        compiled = CompiledGraph(graph)
+        learn_weights(compiled, LearningOptions(epochs=80, seed=0,
+                                                optimizer="adagrad"))
+        good = compiled.weight_values[compiled.weight_keys.index("good")]
+        bad = compiled.weight_values[compiled.weight_keys.index("bad")]
+        assert good > 0.5
+        assert bad < -0.5
+
+    def test_adagrad_deterministic(self):
+        import numpy as np
+        c1 = CompiledGraph(classifier_graph())
+        c2 = CompiledGraph(classifier_graph())
+        options = LearningOptions(epochs=20, seed=3, optimizer="adagrad")
+        learn_weights(c1, options)
+        learn_weights(c2, options)
+        np.testing.assert_array_equal(c1.weight_values, c2.weight_values)
+
+    def test_adagrad_steps_shrink_for_frequent_gradients(self):
+        """After many epochs the adaptive step is small, so late weight
+        movement is bounded even without explicit decay."""
+        import numpy as np
+        compiled = CompiledGraph(classifier_graph())
+        learn_weights(compiled, LearningOptions(epochs=40, seed=0,
+                                                optimizer="adagrad"))
+        early = compiled.weight_values.copy()
+        learn_weights(compiled, LearningOptions(epochs=5, seed=1,
+                                                optimizer="adagrad"))
+        drift = float(np.max(np.abs(compiled.weight_values - early)))
+        assert drift < 1.0
+
+    def test_unknown_optimizer_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="optimizer"):
+            LearningOptions(optimizer="adam")

@@ -1,0 +1,92 @@
+"""Tests for MAP inference via annealed Gibbs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import map_inference, world_log_weight
+
+
+def exact_map(compiled):
+    best, best_score = None, -np.inf
+    n = compiled.num_variables
+    for bits in itertools.product([False, True], repeat=n):
+        world = np.array(bits)
+        if compiled.is_evidence.any():
+            clamped = compiled.is_evidence
+            if not (world[clamped] == compiled.evidence_values[clamped]).all():
+                continue
+        score = world_log_weight(compiled, world)
+        if score > best_score:
+            best, best_score = world, score
+    return best, best_score
+
+
+def check_matches_exact(graph, sweeps=150, seed=0):
+    compiled = CompiledGraph(graph)
+    result = map_inference(compiled, sweeps=sweeps, seed=seed)
+    _, exact_score = exact_map(compiled)
+    assert result.log_weight == pytest.approx(exact_score)
+
+
+class TestMapInference:
+    def test_unary_graph(self):
+        graph = FactorGraph()
+        for i, weight in enumerate([2.0, -1.5, 0.3]):
+            v = graph.variable(i)
+            graph.add_factor(FactorFunction.IS_TRUE, [v],
+                             graph.weight(("w", i), weight))
+        check_matches_exact(graph)
+
+    def test_coupled_graph(self):
+        graph = FactorGraph()
+        a, b, c = (graph.variable(i) for i in range(3))
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("wa", 1.0))
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("we", 2.0))
+        graph.add_factor(FactorFunction.IMPLY, [b, c], graph.weight("wi", 1.5))
+        check_matches_exact(graph)
+
+    def test_frustrated_graph(self):
+        # competing factors: a wants on, a==b coupling, b wants off
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("wa", 1.2))
+        graph.add_factor(FactorFunction.IS_TRUE, [b], graph.weight("wb", -2.0))
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("we", 0.5))
+        check_matches_exact(graph)
+
+    def test_evidence_respected(self):
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("w", -5.0))
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("we", 2.0))
+        graph.set_evidence("a", True)
+        compiled = CompiledGraph(graph)
+        result = map_inference(compiled, sweeps=100, seed=1)
+        by_key = result.by_key(compiled)
+        assert by_key["a"] is True   # clamped despite the negative weight
+        assert by_key["b"] is True   # follows through the EQUAL factor
+
+    def test_returns_best_seen_not_last(self):
+        graph = FactorGraph()
+        v = graph.variable("x")
+        graph.add_factor(FactorFunction.IS_TRUE, [v], graph.weight("w", 3.0))
+        compiled = CompiledGraph(graph)
+        result = map_inference(compiled, sweeps=50, seed=0)
+        assert result.log_weight == pytest.approx(3.0)
+        assert result.assignment[0]
+
+    def test_deterministic_under_seed(self):
+        graph = FactorGraph()
+        for i in range(4):
+            v = graph.variable(i)
+            graph.add_factor(FactorFunction.IS_TRUE, [v],
+                             graph.weight(("w", i), 0.1 * (i - 2)))
+        compiled = CompiledGraph(graph)
+        r1 = map_inference(compiled, sweeps=30, seed=9)
+        r2 = map_inference(compiled, sweeps=30, seed=9)
+        np.testing.assert_array_equal(r1.assignment, r2.assignment)

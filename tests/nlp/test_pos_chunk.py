@@ -1,0 +1,81 @@
+"""Unit tests for the POS tagger and chunker."""
+
+from repro.nlp import chunk, noun_phrases, tag, tag_token
+
+
+class TestTagToken:
+    def test_determiner(self):
+        assert tag_token("the") == "DT"
+
+    def test_preposition(self):
+        assert tag_token("with") == "IN"
+
+    def test_number(self):
+        assert tag_token("1,200") == "CD"
+
+    def test_ordinal(self):
+        assert tag_token("3rd") == "CD"
+
+    def test_currency_symbol(self):
+        assert tag_token("$") == "SYM"
+
+    def test_punctuation(self):
+        assert tag_token(",") == "PUNCT"
+
+    def test_capitalized_mid_sentence_is_nnp(self):
+        assert tag_token("Obama") == "NNP"
+
+    def test_common_verb(self):
+        assert tag_token("married") == "VB"
+
+    def test_ly_adverb(self):
+        assert tag_token("quickly") == "RB"
+
+    def test_noun_suffix(self):
+        assert tag_token("information") == "NN"
+
+    def test_adjective_suffix(self):
+        assert tag_token("famous") == "JJ"
+
+    def test_default_noun(self):
+        assert tag_token("fox") == "NN"
+
+
+class TestTagSentence:
+    def test_sentence_initial_name_repaired(self):
+        tags = tag(["Barack", "Obama", "married", "Michelle"])
+        assert tags[0] == "NNP"
+        assert tags[1] == "NNP"
+
+    def test_full_sentence(self):
+        tags = tag(["The", "gene", "regulates", "the", "phenotype"])
+        assert tags == ["DT", "NN", "VB", "DT", "NN"]
+
+    def test_empty(self):
+        assert tag([]) == []
+
+
+class TestChunker:
+    def test_noun_phrase_grouped(self):
+        tags = ["DT", "JJ", "NN", "VB", "DT", "NN"]
+        nps = noun_phrases(tags)
+        assert [(c.start, c.end) for c in nps] == [(0, 3), (4, 6)]
+
+    def test_verb_phrase(self):
+        tags = ["NNP", "MD", "VB", "NNP"]
+        chunks = chunk(tags)
+        labels = [c.label for c in chunks]
+        assert labels == ["NP", "VP", "NP"]
+
+    def test_dangling_determiner_is_o(self):
+        chunks = chunk(["VB", "DT"])
+        assert chunks[-1].label == "O"
+
+    def test_chunks_cover_sentence(self):
+        tags = ["DT", "NN", "VB", "IN", "NNP", "PUNCT"]
+        chunks = chunk(tags)
+        covered = [i for c in chunks for i in c.indices()]
+        assert covered == list(range(len(tags)))
+
+    def test_empty(self):
+        assert chunk([]) == []

@@ -1,0 +1,95 @@
+"""Unit tests for HTML stripping, tokenization, and sentence splitting."""
+
+from repro.nlp import split_sentences, strip_html, token_texts, tokenize
+
+
+class TestStripHtml:
+    def test_plain_text_passthrough(self):
+        assert strip_html("hello world") == "hello world"
+
+    def test_tags_removed(self):
+        assert strip_html("<b>bold</b> text") == "bold text"
+
+    def test_script_and_style_dropped(self):
+        out = strip_html("<script>var x=1;</script>visible<style>p{}</style>")
+        assert out == "visible"
+
+    def test_block_tags_become_newlines(self):
+        out = strip_html("<p>one</p><p>two</p>")
+        assert out == "one\ntwo"
+
+    def test_entities_decoded(self):
+        assert strip_html("a &amp; b &lt;c&gt;") == "a & b <c>"
+
+    def test_comments_dropped(self):
+        assert strip_html("x<!-- hidden -->y") == "x y"
+
+    def test_whitespace_normalized(self):
+        assert strip_html("a    b\n\n\nc") == "a b\nc"
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert token_texts("the quick fox") == ["the", "quick", "fox"]
+
+    def test_punctuation_split(self):
+        assert token_texts("Hello, world!") == ["Hello", ",", "world", "!"]
+
+    def test_prices_kept_whole(self):
+        assert token_texts("$1,200.50 total") == ["$", "1,200.50", "total"]
+
+    def test_currency_symbol_is_token(self):
+        assert token_texts("€80") == ["€", "80"]
+
+    def test_hyphenated_word(self):
+        assert token_texts("state-of-the-art") == ["state-of-the-art"]
+
+    def test_contraction_kept(self):
+        assert token_texts("don't") == ["don't"]
+
+    def test_decimal_number(self):
+        assert token_texts("pi is 3.14") == ["pi", "is", "3.14"]
+
+    def test_offsets(self):
+        tokens = tokenize("ab cd")
+        assert (tokens[0].start, tokens[0].end) == (0, 2)
+        assert (tokens[1].start, tokens[1].end) == (3, 5)
+
+    def test_ellipsis(self):
+        assert token_texts("wait...") == ["wait", "..."]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestSentenceSplit:
+    def test_basic_split(self):
+        out = split_sentences("First sentence. Second sentence.")
+        assert out == ["First sentence.", "Second sentence."]
+
+    def test_abbreviation_not_boundary(self):
+        out = split_sentences("Dr. Smith treated the claim. It closed.")
+        assert out == ["Dr. Smith treated the claim.", "It closed."]
+
+    def test_initial_not_boundary(self):
+        out = split_sentences("B. Obama and Michelle were married Oct. 3, 1992.")
+        assert len(out) == 1
+
+    def test_decimal_not_boundary(self):
+        out = split_sentences("Mobility was 3.5 units. Next.")
+        assert out[0] == "Mobility was 3.5 units."
+
+    def test_newline_is_boundary(self):
+        out = split_sentences("no period here\nanother line")
+        assert out == ["no period here", "another line"]
+
+    def test_question_and_exclamation(self):
+        out = split_sentences("Really? Yes! Fine.")
+        assert out == ["Really?", "Yes!", "Fine."]
+
+    def test_lowercase_continuation_not_split(self):
+        out = split_sentences("the et al. result holds. Done.")
+        assert len(out) == 2
+
+    def test_empty(self):
+        assert split_sentences("") == []

@@ -1,0 +1,185 @@
+"""Property-based tests for the datastore: relational-algebra laws and
+multiset invariants under arbitrary data."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore import Relation, Schema
+from repro.datastore import query as Q
+
+# small value domains keep collision (and thus join/dup coverage) high
+values = st.integers(min_value=0, max_value=5)
+rows2 = st.lists(st.tuples(values, values), max_size=25)
+rows2_nonneg = rows2
+
+
+def relation2(name, rows):
+    relation = Relation(name, Schema.of(a="int", b="int"))
+    for row in rows:
+        relation.insert(row)
+    return relation
+
+
+def relation2_named(name, columns, rows):
+    relation = Relation(name, Schema.of(**{c: "int" for c in columns}))
+    for row in rows:
+        relation.insert(row)
+    return relation
+
+
+def bag(relation):
+    return Counter(iter(relation))
+
+
+class TestRelationInvariants:
+    @given(rows2)
+    def test_len_equals_sum_of_counts(self, rows):
+        relation = relation2("r", rows)
+        assert len(relation) == len(rows)
+        assert sum(count for _, count in relation.counted_rows()) == len(rows)
+
+    @given(rows2, rows2)
+    def test_insert_then_delete_roundtrip(self, rows, to_delete):
+        relation = relation2("r", rows)
+        original = bag(relation)
+        inserted = [relation.insert(row) for row in to_delete]
+        for row in inserted:
+            assert relation.delete(row) == 1
+        assert bag(relation) == original
+
+    @given(rows2)
+    def test_index_lookup_agrees_with_scan(self, rows):
+        relation = relation2("r", rows)
+        for key in {row[0] for row in rows}:
+            via_index = Counter(relation.lookup(["a"], [key]))
+            via_scan = Counter(row for row in relation if row[0] == key)
+            assert via_index == via_scan
+
+    @given(rows2)
+    def test_copy_preserves_bag(self, rows):
+        relation = relation2("r", rows)
+        assert bag(relation.copy()) == bag(relation)
+
+
+class TestAlgebraLaws:
+    @given(rows2)
+    def test_select_true_is_identity(self, rows):
+        relation = relation2("r", rows)
+        assert bag(Q.select(relation, lambda r: True)) == bag(relation)
+
+    @given(rows2)
+    def test_select_conjunction_is_composition(self, rows):
+        relation = relation2("r", rows)
+        p1 = lambda r: r["a"] > 1
+        p2 = lambda r: r["b"] < 4
+        combined = Q.select(relation, lambda r: p1(r) and p2(r))
+        composed = Q.select(Q.select(relation, p1), p2)
+        assert bag(combined) == bag(composed)
+
+    @given(rows2)
+    def test_project_preserves_cardinality(self, rows):
+        relation = relation2("r", rows)
+        assert len(Q.project(relation, ["a"])) == len(relation)
+
+    @given(rows2, rows2)
+    def test_union_counts_add(self, rows_a, rows_b):
+        left = relation2("l", rows_a)
+        right = relation2("r", rows_b)
+        merged = bag(Q.union(left, right))
+        assert merged == bag(left) + bag(right)
+
+    @given(rows2, rows2)
+    def test_difference_is_bag_subtraction(self, rows_a, rows_b):
+        left = relation2("l", rows_a)
+        right = relation2("r", rows_b)
+        expected = bag(left) - bag(right)
+        assert bag(Q.difference(left, right)) == expected
+
+    @given(rows2, rows2)
+    def test_join_commutes_up_to_column_order(self, rows_a, rows_b):
+        left = relation2_named("l", ["k", "x"], rows_a)
+        right = relation2_named("r", ["k", "y"], rows_b)
+        forward = Q.join(left, right, on=[("k", "k")])
+        backward = Q.join(right, left, on=[("k", "k")])
+        fwd = Counter((r[0], r[1], r[2]) for r in forward)      # k, x, y
+        bwd = Counter((r[0], r[2], r[1]) for r in backward)     # k, x, y
+        assert fwd == bwd
+
+    @given(rows2, rows2)
+    def test_join_cardinality_formula(self, rows_a, rows_b):
+        left = relation2_named("l", ["k", "x"], rows_a)
+        right = relation2_named("r", ["k", "y"], rows_b)
+        joined = Q.join(left, right, on=[("k", "k")])
+        expected = sum(
+            Counter(r[0] for r in rows_a)[key] * count
+            for key, count in Counter(r[0] for r in rows_b).items())
+        assert len(joined) == expected
+
+    @given(rows2)
+    def test_distinct_idempotent(self, rows):
+        relation = relation2("r", rows)
+        once = Q.distinct(relation)
+        twice = Q.distinct(once)
+        assert bag(once) == bag(twice)
+        assert all(count == 1 for _, count in once.counted_rows())
+
+    @given(rows2)
+    def test_aggregate_count_totals(self, rows):
+        relation = relation2("r", rows)
+        out = Q.aggregate(relation, ["a"], {"n": ("count", "*")})
+        assert sum(row[1] for row in out) == len(relation)
+
+
+class TestSqlAgreesWithAlgebra:
+    """The SQL layer must agree with hand-composed relational algebra."""
+
+    @given(rows2)
+    def test_where_equals_select(self, rows):
+        from repro.datastore import Database
+        from repro.datastore.sql import execute
+        db = Database()
+        db.create("t", a="int", b="int")
+        db.insert("t", rows)
+        via_sql = Counter(execute(db, "SELECT a, b FROM t WHERE a > 2"))
+        via_algebra = Counter(iter(Q.select(db["t"], lambda r: r["a"] > 2)))
+        assert via_sql == via_algebra
+
+    @given(rows2, rows2)
+    def test_join_equals_algebra_join(self, rows_a, rows_b):
+        from repro.datastore import Database
+        from repro.datastore.sql import execute
+        db = Database()
+        db.create("l", k="int", x="int")
+        db.create("r", k="int", y="int")
+        db.insert("l", rows_a)
+        db.insert("r", rows_b)
+        via_sql = Counter(execute(
+            db, "SELECT l.k, l.x, r.y FROM l JOIN r ON l.k = r.k"))
+        joined = Q.join(db["l"], db["r"], on=[("k", "k")])
+        via_algebra = Counter(iter(joined))
+        assert via_sql == via_algebra
+
+    @given(rows2)
+    def test_group_count_equals_aggregate(self, rows):
+        from repro.datastore import Database
+        from repro.datastore.sql import execute
+        db = Database()
+        db.create("t", a="int", b="int")
+        db.insert("t", rows)
+        via_sql = Counter(execute(db, "SELECT a, COUNT(*) AS n FROM t GROUP BY a"))
+        via_algebra = Counter(iter(Q.aggregate(db["t"], ["a"], {"n": ("count", "*")})))
+        assert via_sql == via_algebra
+
+    @given(rows2)
+    def test_limit_bounds_output(self, rows):
+        from repro.datastore import Database
+        from repro.datastore.sql import execute
+        db = Database()
+        db.create("t", a="int", b="int")
+        db.insert("t", rows)
+        result = execute(db, "SELECT a FROM t ORDER BY a LIMIT 3")
+        assert len(result) <= 3
+        values = [row[0] for row in result]
+        assert values == sorted(values)

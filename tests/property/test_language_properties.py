@@ -1,0 +1,138 @@
+"""Property-based tests for the DDlog language and NLP substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddlog import parse_program, validate_program
+from repro.eval import bucket_index, calibration_plot, probability_histogram
+from repro.nlp import split_sentences, strip_html, tokenize
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+relation_name = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True)
+type_name = st.sampled_from(["text", "int", "float", "bool"])
+
+
+@st.composite
+def random_program_source(draw):
+    """Generate a syntactically well-formed program: declarations plus one
+    safe derivation rule per declared pair of relations."""
+    num_relations = draw(st.integers(min_value=2, max_value=4))
+    names = draw(st.lists(relation_name, min_size=num_relations,
+                          max_size=num_relations, unique=True))
+    arities = [draw(st.integers(min_value=1, max_value=3))
+               for _ in range(num_relations)]
+    columns = {}
+    lines = []
+    for name, arity in zip(names, arities):
+        cols = draw(st.lists(identifier, min_size=arity, max_size=arity,
+                             unique=True))
+        types = [draw(type_name) for _ in range(arity)]
+        columns[name] = list(zip(cols, types))
+        decl_cols = ", ".join(f"{c} {t}" for c, t in columns[name])
+        lines.append(f"{name}({decl_cols}).")
+    # one derivation rule: first relation derives from the second, reusing
+    # the body's leading variables for the head
+    head, body = names[0], names[1]
+    head_arity = arities[0]
+    body_arity = arities[1]
+    body_vars = [f"v{i}" for i in range(body_arity)]
+    head_terms = [body_vars[i % body_arity] for i in range(head_arity)]
+    lines.append(f"{head}({', '.join(head_terms)}) :- "
+                 f"{body}({', '.join(body_vars)}).")
+    return "\n".join(lines), names, arities
+
+
+class TestParserProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_program_source())
+    def test_wellformed_programs_parse(self, generated):
+        source, names, arities = generated
+        ast = parse_program(source)
+        assert [d.name for d in ast.declarations] == names
+        assert [d.arity for d in ast.declarations] == arities
+        assert len(ast.rules) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_program_source())
+    def test_parse_is_idempotent_on_rule_text(self, generated):
+        """The captured rule text re-parses to an identical rule."""
+        source, names, _ = generated
+        ast = parse_program(source)
+        rule = ast.rules[0]
+        decls = "\n".join(source.split("\n")[:len(names)])
+        reparsed = parse_program(decls + "\n" + rule.text
+                                 + ("" if rule.text.endswith(".") else "."))
+        assert reparsed.rules[0].heads == rule.heads
+        assert reparsed.rules[0].body == rule.body
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_program_source())
+    def test_generated_programs_validate(self, generated):
+        source, _, _ = generated
+        validate_program(parse_program(source))
+
+
+class TestNlpProperties:
+    text = st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Po", "Zs")),
+                   max_size=120)
+
+    @given(text)
+    def test_token_offsets_recover_surface(self, value):
+        for token in tokenize(value):
+            assert value[token.start:token.end] == token.text
+
+    @given(text)
+    def test_tokens_are_ordered_and_disjoint(self, value):
+        tokens = tokenize(value)
+        for before, after in zip(tokens, tokens[1:]):
+            assert before.end <= after.start
+
+    @given(text)
+    def test_sentences_cover_no_invented_text(self, value):
+        joined = "".join(split_sentences(value)).replace(" ", "")
+        original = value.replace(" ", "").replace("\n", "")
+        for char in joined:
+            assert char in original or char.isspace()
+
+    @given(st.text(max_size=200))
+    def test_strip_html_never_returns_tags(self, value):
+        cleaned = strip_html(value)
+        assert "<script" not in cleaned.lower()
+
+    @given(text)
+    def test_strip_html_idempotent_on_plain_text(self, value):
+        import hypothesis
+        hypothesis.assume("<" not in value and ">" not in value and "&" not in value)
+        once = strip_html(value)
+        assert strip_html(once) == once
+
+
+class TestCalibrationProperties:
+    probs = st.lists(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False), max_size=200)
+
+    @given(probs)
+    def test_histogram_counts_total(self, values):
+        histogram = probability_histogram(values)
+        assert histogram.bucket_counts.sum() == len(values)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_bucket_index_in_range(self, p):
+        assert 0 <= bucket_index(p) <= 9
+
+    @given(probs)
+    def test_calibration_counts_match_histogram(self, values):
+        labels = [p >= 0.5 for p in values]
+        plot = calibration_plot(values, labels)
+        histogram = probability_histogram(values)
+        assert (plot.bucket_counts == histogram.bucket_counts).all()
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    def test_perfectly_confident_correct_predictions_calibrated(self, labels):
+        """Predicting 0.999/0.001 and always being right pins accuracy to the
+        extreme buckets."""
+        probabilities = [0.999 if label else 0.001 for label in labels]
+        plot = calibration_plot(probabilities, labels)
+        # bucket centers sit at 0.05/0.95, so the best achievable deviation
+        # for perfect extreme predictions is 0.05 (plus float noise)
+        assert plot.max_deviation <= 0.05 + 1e-9
