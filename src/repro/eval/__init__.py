@@ -3,6 +3,7 @@ the Section-5.2 error-analysis document, and Mindtagger-lite annotation."""
 
 from repro.eval.calibration import (CalibrationPlot, ProbabilityHistogram,
                                     bucket_index, calibration_plot,
+                                    calibration_vs_exact,
                                     probability_histogram)
 from repro.eval.error_analysis import (CAUSE_BAD_WEIGHTS,
                                        CAUSE_INSUFFICIENT_FEATURES,
@@ -30,6 +31,7 @@ __all__ = [
     "bucket_index",
     "build_report",
     "calibration_plot",
+    "calibration_vs_exact",
     "diagnose_miss",
     "precision_recall",
     "precision_recall_curve",

@@ -18,10 +18,21 @@ Unary (``IS_TRUE``) factors -- the bulk of any KBC graph, one per feature
 grounding -- are split out into dedicated parallel arrays so that their
 contribution to every variable's conditional can be recomputed for the whole
 graph with two vectorized operations per sweep.
+
+On top of the CSR layout the compiled graph carries a **chromatic schedule**:
+a greedy coloring of the conflict graph whose nodes are the variables touched
+by general factors and whose edges connect two variables iff they share a
+general factor.  Variables of one color have conditionals that are mutually
+independent given the rest of the world, so a Gibbs sweep may sample a whole
+color block simultaneously with vectorized operations without changing the
+stationary distribution.  :meth:`CompiledGraph.color_blocks` compiles each
+color into flat "slot" index arrays (one slot per variable/factor incidence)
+that the sampler turns into a handful of numpy gathers per sweep.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable
 
 import numpy as np
@@ -103,6 +114,115 @@ class CompiledGraph:
             for v in self.fv_vars[self.fv_indptr[fi]:self.fv_indptr[fi + 1]]:
                 self.vf_factors[cursor[v]] = fi
                 cursor[v] += 1
+
+        # ---- chromatic schedule ---------------------------------------------
+        self.var_colors, self.num_colors = self._greedy_coloring()
+
+    def _greedy_coloring(self) -> tuple[np.ndarray, int]:
+        """Greedy color of the conflict graph over general-factor variables.
+
+        Two variables conflict iff they share a general factor; a valid
+        coloring therefore partitions the dependent variables into blocks
+        whose conditionals are mutually independent given the rest of the
+        world.  Variables without general factors keep color -1 (they are the
+        sampler's fully-vectorized "independent" set already).
+        """
+        colors = np.full(self.num_variables, -1, dtype=np.int64)
+        has_general = self.vf_indptr[1:] > self.vf_indptr[:-1]
+        for var in np.nonzero(has_general)[0]:
+            taken = set()
+            for slot in range(self.vf_indptr[var], self.vf_indptr[var + 1]):
+                fi = self.vf_factors[slot]
+                for other in self.fv_vars[self.fv_indptr[fi]:self.fv_indptr[fi + 1]]:
+                    if other != var and colors[other] >= 0:
+                        taken.add(int(colors[other]))
+            color = 0
+            while color in taken:
+                color += 1
+            colors[var] = color
+        num_colors = int(colors.max()) + 1 if has_general.any() else 0
+        return colors, num_colors
+
+    def color_blocks(self, active: np.ndarray) -> list["ColorBlock"]:
+        """Compile the chromatic schedule restricted to ``active`` variables.
+
+        ``active`` masks which variables the sampler will actually resample
+        (clamped evidence drops out); a coloring valid on the full conflict
+        graph stays valid on any induced subgraph, so the same global coloring
+        serves both the clamped and the free chain.
+        """
+        blocks = []
+        for color in range(self.num_colors):
+            variables = np.nonzero((self.var_colors == color) & active)[0]
+            if len(variables):
+                blocks.append(self._compile_color_block(variables))
+        return blocks
+
+    def _compile_color_block(self, variables: np.ndarray) -> "ColorBlock":
+        local_pos = {int(v): i for i, v in enumerate(variables)}
+        in_block = np.zeros(self.num_variables, dtype=bool)
+        in_block[variables] = True
+
+        # Factors incident on the block, compacted into local edge CSR rows.
+        factor_ids = np.unique(np.concatenate(
+            [self.vf_factors[self.vf_indptr[v]:self.vf_indptr[v + 1]]
+             for v in variables]))
+        edge_slices = [(int(self.fv_indptr[fi]), int(self.fv_indptr[fi + 1]))
+                       for fi in factor_ids]
+        edge_vars = np.concatenate(
+            [self.fv_vars[lo:hi] for lo, hi in edge_slices])
+        edge_negated = np.concatenate(
+            [self.fv_negated[lo:hi] for lo, hi in edge_slices])
+        edge_indptr = np.zeros(len(factor_ids) + 1, dtype=np.int64)
+        np.cumsum([hi - lo for lo, hi in edge_slices], out=edge_indptr[1:])
+
+        # One slot per (block variable, incident factor occurrence).
+        slot_var, slot_factor, slot_edge = [], [], []
+        slot_weight, slot_sign, slot_arity = [], [], []
+        cat_all_others, cat_none_others, cat_equal, cat_imply_body = [], [], [], []
+        imply_head_edge = []
+        for j, fi in enumerate(factor_ids):
+            lo, hi = edge_slices[j]
+            arity = hi - lo
+            base = int(edge_indptr[j])
+            function = int(self.general_function[fi])
+            for p in range(arity):
+                v = int(self.fv_vars[lo + p])
+                if not in_block[v]:
+                    continue
+                slot = len(slot_var)
+                slot_var.append(local_pos[v])
+                slot_factor.append(j)
+                slot_edge.append(base + p)
+                slot_weight.append(int(self.general_weight[fi]))
+                slot_sign.append(-1.0 if self.fv_negated[lo + p] else 1.0)
+                slot_arity.append(arity)
+                if function == FactorFunction.IMPLY and p != arity - 1:
+                    cat_imply_body.append(slot)
+                    imply_head_edge.append(base + arity - 1)
+                elif function in (FactorFunction.IMPLY, FactorFunction.AND):
+                    cat_all_others.append(slot)
+                elif function == FactorFunction.OR:
+                    cat_none_others.append(slot)
+                else:                                         # EQUAL
+                    cat_equal.append(slot)
+        as_index = lambda xs: np.array(xs, dtype=np.int64)  # noqa: E731
+        return ColorBlock(
+            variables=variables,
+            edge_vars=edge_vars,
+            edge_negated=edge_negated,
+            edge_indptr=edge_indptr,
+            slot_var=as_index(slot_var),
+            slot_factor=as_index(slot_factor),
+            slot_edge=as_index(slot_edge),
+            slot_weight=as_index(slot_weight),
+            slot_sign=np.array(slot_sign, dtype=np.float64),
+            slot_arity=as_index(slot_arity),
+            slots_all_others=as_index(cat_all_others),
+            slots_none_others=as_index(cat_none_others),
+            slots_equal=as_index(cat_equal),
+            slots_imply_body=as_index(cat_imply_body),
+            imply_head_edge=as_index(imply_head_edge))
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -189,6 +309,45 @@ class CompiledGraph:
         """Write learned weight values back into the mutable graph."""
         for weight_id, index in self._weight_index.items():
             graph.weights[weight_id].value = float(self.weight_values[index])
+
+
+@dataclass(frozen=True)
+class ColorBlock:
+    """Flat index arrays for one color of the chromatic schedule.
+
+    The sampler evaluates a whole block per sweep with vectorized gathers:
+
+    * ``edge_*`` are the compacted CSR rows of every general factor incident
+      on the block (``edge_indptr`` delimits local factor rows);
+    * each *slot* is one (variable, factor occurrence) incidence --
+      ``slot_var`` indexes into ``variables``, ``slot_edge`` locates the
+      variable's own literal inside the edge arrays;
+    * ``slots_*`` partition the slots by how the factor's contribution to the
+      flip delta is computed: ``all_others`` (AND, and IMPLY where the
+      variable is the head), ``none_others`` (OR), ``equal`` (EQUAL), and
+      ``imply_body`` (IMPLY body literals, with ``imply_head_edge`` giving
+      the head literal of each such slot's factor).
+    """
+
+    variables: np.ndarray        # compiled variable indices in this block
+    edge_vars: np.ndarray        # member variable per compacted edge
+    edge_negated: np.ndarray     # literal polarity per compacted edge
+    edge_indptr: np.ndarray      # CSR row boundaries over the edges
+    slot_var: np.ndarray         # slot -> position in ``variables``
+    slot_factor: np.ndarray      # slot -> local factor row
+    slot_edge: np.ndarray        # slot -> this variable's own edge
+    slot_weight: np.ndarray      # slot -> global weight index
+    slot_sign: np.ndarray        # -1 where the variable's literal is negated
+    slot_arity: np.ndarray       # slot -> factor arity
+    slots_all_others: np.ndarray
+    slots_none_others: np.ndarray
+    slots_equal: np.ndarray
+    slots_imply_body: np.ndarray
+    imply_head_edge: np.ndarray  # aligned with ``slots_imply_body``
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_var)
 
 
 def _general_value(function: int, literals: np.ndarray) -> int:

@@ -7,7 +7,10 @@ hardware/statistical efficiency study.
 
 from repro.inference.diagnostics import (ConvergenceReport, check_convergence,
                                           effective_samples, split_r_hat)
-from repro.inference.gibbs import GibbsSampler, MarginalResult, sigmoid
+from repro.inference.exact import (ExactResult, enumerate_worlds,
+                                   exact_marginals, world_log_weights)
+from repro.inference.gibbs import (ENGINES, GibbsSampler, MarginalResult,
+                                   sigmoid)
 from repro.inference.learning import (LearningDiagnostics, LearningOptions,
                                       learn_weights)
 from repro.inference.map_inference import (AnnealedGibbs, MapResult,
@@ -16,6 +19,8 @@ from repro.inference.numa import NumaConfig, NumaGibbs, NumaRunResult
 
 __all__ = [
     "ConvergenceReport",
+    "ENGINES",
+    "ExactResult",
     "GibbsSampler",
     "LearningDiagnostics",
     "LearningOptions",
@@ -26,7 +31,10 @@ __all__ = [
     "NumaRunResult",
     "check_convergence",
     "effective_samples",
+    "enumerate_worlds",
+    "exact_marginals",
     "learn_weights",
+    "world_log_weights",
     "map_inference",
     "split_r_hat",
     "sigmoid",

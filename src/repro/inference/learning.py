@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.factorgraph.compiled import CompiledGraph
-from repro.inference.gibbs import GibbsSampler
+from repro.inference.gibbs import ENGINES, GibbsSampler
 
 
 @dataclass
@@ -29,6 +29,10 @@ class LearningOptions:
     ``optimizer`` is ``"sgd"`` (decaying step size) or ``"adagrad"``
     (per-weight adaptive steps, DeepDive's production choice: rare features
     keep large steps while frequent features settle quickly).
+
+    ``engine`` picks the Gibbs sweep implementation for both persistent
+    chains: ``"chromatic"`` (vectorized color blocks, the default) or
+    ``"reference"`` (scalar loop, for equivalence testing).
     """
 
     epochs: int = 50
@@ -38,10 +42,13 @@ class LearningOptions:
     sweeps_per_epoch: int = 1
     seed: int = 0
     optimizer: str = "sgd"
+    engine: str = "chromatic"
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("sgd", "adagrad"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
 
 
 @dataclass
@@ -66,8 +73,10 @@ def learn_weights(compiled: CompiledGraph,
     snapshots for the debugger.
     """
     options = options or LearningOptions()
-    clamped_chain = GibbsSampler(compiled, seed=options.seed, clamp_evidence=True)
-    free_chain = GibbsSampler(compiled, seed=options.seed + 1, clamp_evidence=False)
+    clamped_chain = GibbsSampler(compiled, seed=options.seed, clamp_evidence=True,
+                                 engine=options.engine)
+    free_chain = GibbsSampler(compiled, seed=options.seed + 1, clamp_evidence=False,
+                              engine=options.engine)
     clamped_world = clamped_chain.initial_assignment()
     free_world = clamped_world.copy()
 

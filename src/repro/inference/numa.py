@@ -38,24 +38,32 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.factorgraph.compiled import CompiledGraph
-from repro.inference.gibbs import GibbsSampler
+from repro.inference.gibbs import ENGINES, GibbsSampler
 
 
 @dataclass(frozen=True)
 class NumaConfig:
-    """Topology and cost model of the simulated machine."""
+    """Topology and cost model of the simulated machine.
+
+    ``engine`` is forwarded to every replica's :class:`GibbsSampler`, so the
+    simulated cost model sits atop the real chromatic vectorized sweeps by
+    default (``"reference"`` selects the scalar engine for comparisons).
+    """
 
     sockets: int = 4
     cores_per_socket: int = 10
     remote_penalty: float = 3.5
     sync_every: int = 1          # sweeps between model-averaging rounds
     numa_aware: bool = True
+    engine: str = "chromatic"
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
             raise ValueError("need at least one socket")
         if self.remote_penalty < 1.0:
             raise ValueError("remote accesses cannot be cheaper than local")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
 
 
 @dataclass
@@ -117,8 +125,10 @@ class NumaGibbs:
         """
         config = self.config
         total_sweeps = burn_in + num_samples
+        per_socket_sweep = self._sweep_cost()
         if config.numa_aware and config.sockets > 1:
-            replicas = [GibbsSampler(self.compiled, seed=self.seed + s)
+            replicas = [GibbsSampler(self.compiled, seed=self.seed + s,
+                                     engine=config.engine)
                         for s in range(config.sockets)]
             worlds = [r.initial_assignment() for r in replicas]
             totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
@@ -128,7 +138,7 @@ class NumaGibbs:
             for sweep_index in range(total_sweeps):
                 for replica, world in zip(replicas, worlds):
                     samples += replica.sweep(world)
-                modeled_time += self._sweep_cost()
+                modeled_time += per_socket_sweep
                 if (sweep_index + 1) % config.sync_every == 0:
                     modeled_time += self._sync_cost()
                 if sweep_index >= burn_in:
@@ -136,8 +146,10 @@ class NumaGibbs:
                         totals += world
                     collected += config.sockets
             marginals = totals / max(collected, 1)
+            per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
         else:
-            sampler = GibbsSampler(self.compiled, seed=self.seed)
+            sampler = GibbsSampler(self.compiled, seed=self.seed,
+                                   engine=config.engine)
             world = sampler.initial_assignment()
             totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
             collected = 0
@@ -145,12 +157,14 @@ class NumaGibbs:
             samples = 0
             for sweep_index in range(total_sweeps):
                 samples += sampler.sweep(world)
-                modeled_time += self._sweep_cost()
+                modeled_time += per_socket_sweep
                 if sweep_index >= burn_in:
                     totals += world
                     collected += 1
             marginals = totals / max(collected, 1)
+            per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
         clamped = self.compiled.is_evidence
         marginals[clamped] = self.compiled.evidence_values[clamped]
         return NumaRunResult(marginals=marginals, modeled_time=modeled_time,
-                             samples_drawn=samples)
+                             samples_drawn=samples,
+                             per_socket_cost=per_socket_cost)

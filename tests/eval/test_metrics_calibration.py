@@ -106,3 +106,41 @@ class TestProbabilityHistogram:
 
     def test_empty_score_nan(self):
         assert np.isnan(probability_histogram([]).u_shape_score)
+
+
+class TestCalibrationVsExact:
+    """The oracle-backed calibration diagnostic for toy graphs."""
+
+    @staticmethod
+    def toy_compiled():
+        from repro.factorgraph import (CompiledGraph, FactorFunction,
+                                       FactorGraph)
+        graph = FactorGraph()
+        rng = np.random.default_rng(1)
+        for i in range(6):
+            graph.variable(i)
+            graph.add_factor(FactorFunction.IS_TRUE, [i],
+                             graph.weight(("u", i), float(rng.normal(0, 1.5))))
+        graph.add_factor(FactorFunction.IMPLY, [0, 1],
+                         graph.weight("g", 1.0))
+        graph.set_evidence(5, True)
+        return CompiledGraph(graph)
+
+    def test_good_sampler_hugs_diagonal(self):
+        from repro.eval import calibration_vs_exact
+        from repro.inference import GibbsSampler
+
+        compiled = self.toy_compiled()
+        estimated = GibbsSampler(compiled, seed=3).marginals(
+            num_samples=8000, burn_in=400)
+        plot = calibration_vs_exact(compiled, estimated.marginals)
+        assert plot.bucket_counts.sum() == 5          # evidence excluded
+        assert plot.max_deviation < 0.1
+
+    def test_broken_estimates_flagged(self):
+        from repro.eval import calibration_vs_exact
+
+        compiled = self.toy_compiled()
+        inverted = 1.0 - np.linspace(0.05, 0.95, compiled.num_variables)
+        plot = calibration_vs_exact(compiled, inverted)
+        assert plot.max_deviation > 0.2

@@ -1,41 +1,18 @@
 """Correctness tests for the Gibbs sampler: estimated marginals must match
-exact enumeration on small graphs."""
-
-import itertools
+the exact-inference oracle on small graphs."""
 
 import numpy as np
 import pytest
 
 from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
-from repro.inference import GibbsSampler, sigmoid
-
-
-def exact_marginals(compiled: CompiledGraph) -> np.ndarray:
-    """Brute-force marginals by enumerating all possible worlds."""
-    n = compiled.num_variables
-    log_weights = []
-    worlds = []
-    for bits in itertools.product([False, True], repeat=n):
-        world = np.array(bits)
-        if compiled.is_evidence.any():
-            if not (world[compiled.is_evidence]
-                    == compiled.evidence_values[compiled.is_evidence]).all():
-                continue
-        lw = float(np.dot(compiled.unary_value_sums(world), compiled.weight_values))
-        lw += float(np.dot(compiled.general_value_sums(world), compiled.weight_values))
-        log_weights.append(lw)
-        worlds.append(world)
-    log_weights = np.array(log_weights)
-    probs = np.exp(log_weights - log_weights.max())
-    probs /= probs.sum()
-    return np.einsum("w,wv->v", probs, np.array(worlds, dtype=float))
+from repro.inference import GibbsSampler, exact_marginals, sigmoid
 
 
 def assert_close_to_exact(graph: FactorGraph, atol: float = 0.03) -> None:
     compiled = CompiledGraph(graph)
     sampler = GibbsSampler(compiled, seed=7)
     result = sampler.marginals(num_samples=6000, burn_in=300)
-    expected = exact_marginals(compiled)
+    expected = exact_marginals(compiled).marginals
     np.testing.assert_allclose(result.marginals, expected, atol=atol)
 
 
@@ -51,6 +28,24 @@ class TestSigmoid:
         out = sigmoid(np.array([-1.0, 0.0, 1.0]))
         assert out.shape == (3,)
         assert out[0] + out[2] == pytest.approx(1.0)
+
+    def test_no_warnings_at_extremes(self):
+        """Regression: np.where evaluated both branches, so exp(-x) overflowed
+        for large-magnitude inputs.  Masked evaluation must stay silent even
+        with every floating-point error promoted to an exception."""
+        extremes = np.array([-1e9, -1000.0, -500.0, 0.0, 500.0, 1000.0, 1e9])
+        with np.errstate(all="raise"):
+            out = sigmoid(extremes)
+            scalar_low = sigmoid(-1e6)
+            scalar_high = sigmoid(1e6)
+        assert ((out >= 0) & (out <= 1)).all()
+        assert np.all(np.diff(out) >= 0)          # monotone
+        assert scalar_low == pytest.approx(0.0)
+        assert scalar_high == pytest.approx(1.0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(sigmoid(0.3), float)
+        assert isinstance(sigmoid(np.float64(-0.3)), float)
 
 
 class TestSingleVariable:

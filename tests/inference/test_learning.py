@@ -88,6 +88,102 @@ class TestLearning:
         np.testing.assert_array_equal(c1.weight_values, c2.weight_values)
 
 
+class TestSeedDeterminism:
+    """Same seed -> bit-identical results, for both learner chains."""
+
+    def test_clamped_chain_marginals_bit_identical(self):
+        compiled = CompiledGraph(classifier_graph())
+        runs = [GibbsSampler(compiled, seed=9, clamp_evidence=True)
+                .marginals(num_samples=200, burn_in=20) for _ in range(2)]
+        np.testing.assert_array_equal(runs[0].marginals, runs[1].marginals)
+        assert runs[0].num_samples == runs[1].num_samples
+        assert runs[0].burn_in == runs[1].burn_in
+
+    def test_free_chain_marginals_bit_identical(self):
+        compiled = CompiledGraph(classifier_graph())
+        runs = [GibbsSampler(compiled, seed=9, clamp_evidence=False)
+                .marginals(num_samples=200, burn_in=20) for _ in range(2)]
+        np.testing.assert_array_equal(runs[0].marginals, runs[1].marginals)
+
+    def test_learning_identical_across_engines(self):
+        """The chromatic and reference engines run the same chain, so whole
+        training runs must agree bit for bit."""
+        chromatic = CompiledGraph(classifier_graph())
+        reference = CompiledGraph(classifier_graph())
+        d1 = learn_weights(chromatic, LearningOptions(
+            epochs=20, seed=4, engine="chromatic"))
+        d2 = learn_weights(reference, LearningOptions(
+            epochs=20, seed=4, engine="reference"))
+        np.testing.assert_array_equal(chromatic.weight_values,
+                                      reference.weight_values)
+        assert d1.gradient_norms == d2.gradient_norms
+
+    def test_unknown_engine_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="engine"):
+            LearningOptions(engine="turbo")
+
+
+class TestWeightRefresh:
+    """refresh_weights() must invalidate every cached weight gather."""
+
+    @staticmethod
+    def coupled_graph():
+        graph = FactorGraph()
+        a = graph.variable("a")
+        b = graph.variable("b")
+        graph.add_factor(FactorFunction.IS_TRUE, [a], graph.weight("unary", 0.0))
+        graph.add_factor(FactorFunction.EQUAL, [a, b], graph.weight("couple", 0.0))
+        return graph
+
+    def test_refresh_changes_subsequent_sweeps(self):
+        refreshed_graph = CompiledGraph(self.coupled_graph())
+        stale_graph = CompiledGraph(self.coupled_graph())
+        refreshed = GibbsSampler(refreshed_graph, seed=2)
+        stale = GibbsSampler(stale_graph, seed=2)
+        w_refreshed = refreshed.initial_assignment()
+        w_stale = stale.initial_assignment()
+        for _ in range(3):
+            refreshed.sweep(w_refreshed)
+            stale.sweep(w_stale)
+        np.testing.assert_array_equal(w_refreshed, w_stale)
+
+        # both graphs get new weights; only one sampler refreshes its caches
+        new_weights = np.array([8.0, 8.0])
+        refreshed_graph.set_weights(new_weights)
+        stale_graph.set_weights(new_weights)
+        refreshed.refresh_weights()
+
+        hits_refreshed = np.zeros(2)
+        hits_stale = np.zeros(2)
+        for _ in range(200):
+            refreshed.sweep(w_refreshed)
+            stale.sweep(w_stale)
+            hits_refreshed += w_refreshed
+            hits_stale += w_stale
+        # with w=8 on both factors the refreshed chain pins (a, b) near True;
+        # the stale unary cache keeps its chain mixing far more freely
+        assert hits_refreshed[0] > 190
+        assert hits_stale[0] < 150
+
+    def test_refresh_updates_general_factor_cache(self):
+        """The chromatic engine caches signed per-slot weights; a refresh
+        after a general-factor weight update must change the block deltas."""
+        compiled = CompiledGraph(self.coupled_graph())
+        sampler = GibbsSampler(compiled, seed=0)
+        world = np.array([True, False])
+        before = sampler._block_deltas(sampler._blocks[0],
+                                       sampler._block_weights[0], world).copy()
+        couple = compiled.weight_keys.index("couple")
+        new_weights = compiled.weight_values.copy()
+        new_weights[couple] = 5.0
+        compiled.set_weights(new_weights)
+        sampler.refresh_weights()
+        after = sampler._block_deltas(sampler._blocks[0],
+                                      sampler._block_weights[0], world)
+        assert not np.array_equal(before, after)
+
+
 class TestAdaGrad:
     def test_adagrad_separates_features(self):
         graph = classifier_graph()

@@ -28,6 +28,33 @@ class TestNumaConfig:
         with pytest.raises(ValueError):
             NumaConfig(remote_penalty=0.5)
 
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            NumaConfig(engine="turbo")
+
+
+class TestEngineThreading:
+    def test_engines_produce_identical_runs(self):
+        """Replica sweeps run the same chain under either engine, so the
+        whole simulated run must agree bit for bit."""
+        compiled = chain_graph(n=10)
+        chromatic = NumaGibbs(compiled, NumaConfig(sockets=2, engine="chromatic"),
+                              seed=3).run(num_samples=30, burn_in=5)
+        reference = NumaGibbs(compiled, NumaConfig(sockets=2, engine="reference"),
+                              seed=3).run(num_samples=30, burn_in=5)
+        np.testing.assert_array_equal(chromatic.marginals, reference.marginals)
+        assert chromatic.modeled_time == reference.modeled_time
+
+    def test_per_socket_cost_reported(self):
+        compiled = chain_graph()
+        config = NumaConfig(sockets=4, sync_every=5)
+        result = NumaGibbs(compiled, config).run(num_samples=10, burn_in=2)
+        assert len(result.per_socket_cost) == 4
+        assert all(c > 0 for c in result.per_socket_cost)
+        # sockets work in parallel: the modeled time covers at least the
+        # busiest socket (plus sync rounds)
+        assert result.modeled_time >= max(result.per_socket_cost)
+
 
 class TestCostModel:
     def test_aware_is_faster(self):

@@ -1,0 +1,177 @@
+"""Property-based tests on the chromatic Gibbs engine's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
+from repro.inference import GibbsSampler
+from repro.inference.exact import exact_marginals
+
+
+@st.composite
+def random_graph(draw):
+    """A small random factor graph mixing every factor type."""
+    num_variables = draw(st.integers(min_value=2, max_value=7))
+    graph = FactorGraph()
+    for i in range(num_variables):
+        graph.variable(i)
+    num_factors = draw(st.integers(min_value=1, max_value=10))
+    for f in range(num_factors):
+        function = draw(st.sampled_from(list(FactorFunction)))
+        if function == FactorFunction.IS_TRUE:
+            arity = 1
+        elif function == FactorFunction.EQUAL:
+            arity = 2
+        else:
+            arity = draw(st.integers(min_value=2, max_value=3))
+        members = draw(st.lists(st.integers(0, num_variables - 1),
+                                min_size=arity, max_size=arity, unique=True)
+                       if arity <= num_variables else st.none())
+        if members is None:
+            continue
+        negated = draw(st.lists(st.booleans(), min_size=arity, max_size=arity))
+        weight = graph.weight(("w", f), draw(st.floats(-2, 2)))
+        graph.add_factor(function, members, weight, negated=negated)
+    evidence = draw(st.lists(st.tuples(st.integers(0, num_variables - 1),
+                                       st.booleans()), max_size=2))
+    for var, value in evidence:
+        graph.set_evidence(var, value)
+    return graph
+
+
+def shared_factor_pairs(compiled: CompiledGraph) -> set[tuple[int, int]]:
+    """All unordered pairs of distinct variables sharing a general factor."""
+    pairs = set()
+    for fi in range(compiled.num_general):
+        members = compiled.fv_vars[compiled.fv_indptr[fi]:
+                                   compiled.fv_indptr[fi + 1]]
+        for a in members:
+            for b in members:
+                if a < b:
+                    pairs.add((int(a), int(b)))
+    return pairs
+
+
+class TestColoring:
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_no_conflict_within_a_color(self, graph):
+        compiled = CompiledGraph(graph)
+        for a, b in shared_factor_pairs(compiled):
+            assert compiled.var_colors[a] != compiled.var_colors[b] or \
+                compiled.var_colors[a] == -1
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_every_general_variable_colored(self, graph):
+        compiled = CompiledGraph(graph)
+        has_general = compiled.vf_indptr[1:] > compiled.vf_indptr[:-1]
+        colors = compiled.var_colors
+        assert (colors[has_general] >= 0).all()
+        assert (colors[~has_general] == -1).all()
+        if has_general.any():
+            # colors are consecutive starting at 0
+            used = np.unique(colors[has_general])
+            assert used.min() == 0
+            assert compiled.num_colors == used.max() + 1
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_partition_active_variables(self, graph):
+        compiled = CompiledGraph(graph)
+        has_general = compiled.vf_indptr[1:] > compiled.vf_indptr[:-1]
+        active = has_general & ~compiled.is_evidence
+        blocks = compiled.color_blocks(active)
+        seen = np.concatenate([b.variables for b in blocks]) if blocks else \
+            np.zeros(0, dtype=np.int64)
+        assert len(seen) == len(np.unique(seen))          # disjoint
+        np.testing.assert_array_equal(np.sort(seen), np.nonzero(active)[0])
+
+
+class TestSweepInvariants:
+    @given(random_graph(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_every_unclamped_variable_sampled_once_per_sweep(self, graph, seed):
+        compiled = CompiledGraph(graph)
+        sampler = GibbsSampler(compiled, seed=seed)
+        world = sampler.initial_assignment()
+        expected = compiled.num_variables - int(compiled.is_evidence.sum())
+        assert sampler.sweep(world) == expected
+        # the dependent schedule and independent set are disjoint and complete
+        scheduled = int(sampler._independent.sum()) + len(sampler._dependent)
+        assert scheduled == expected
+        assert not sampler._independent[sampler._dependent].any()
+
+    @given(random_graph(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_clamped_evidence_never_mutated(self, graph, seed):
+        compiled = CompiledGraph(graph)
+        sampler = GibbsSampler(compiled, seed=seed, clamp_evidence=True)
+        world = sampler.initial_assignment()
+        evidence = compiled.is_evidence
+        expected = compiled.evidence_values[evidence].copy()
+        for _ in range(5):
+            sampler.sweep(world)
+            np.testing.assert_array_equal(world[evidence], expected)
+
+
+class TestPermutationInvariance:
+    """Marginals must not depend on the order variables entered the graph."""
+
+    @staticmethod
+    def permuted_pair(graph: FactorGraph, permutation: np.ndarray):
+        """Rebuild ``graph`` with variable keys relabeled by ``permutation``.
+
+        Relabeling changes the compiled (sorted-key) variable order while
+        keeping the distribution identical up to the relabeling.
+        """
+        rebuilt = FactorGraph()
+        keys = {}
+        for var_id, variable in graph.variables.items():
+            keys[var_id] = int(permutation[variable.key])
+            rebuilt.variable(keys[var_id])
+            if variable.evidence is not None:
+                rebuilt.set_evidence(keys[var_id], variable.evidence)
+        for factor in graph.factors.values():
+            weight = graph.weights[factor.weight_id]
+            rebuilt.add_factor(
+                factor.function,
+                [rebuilt.variable(keys[v]) for v in factor.var_ids],
+                rebuilt.weight(weight.key, weight.value, fixed=weight.fixed),
+                negated=list(factor.negated))
+        return rebuilt
+
+    @given(random_graph(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_marginals_permutation_invariant(self, graph, seed):
+        n = len(graph.variables)
+        permutation = np.random.default_rng(seed).permutation(n)
+        permuted = self.permuted_pair(graph, permutation)
+        original_compiled = CompiledGraph(graph)
+        permuted_compiled = CompiledGraph(permuted)
+        original = exact_marginals(original_compiled).by_key(original_compiled)
+        relabeled = exact_marginals(permuted_compiled).by_key(permuted_compiled)
+        for key, value in original.items():
+            assert abs(relabeled[int(permutation[key])] - value) < 1e-9
+
+    def test_gibbs_marginals_permutation_invariant(self):
+        """Sampled marginals agree (within tolerance) after relabeling."""
+        rng = np.random.default_rng(4)
+        graph = FactorGraph()
+        for i in range(6):
+            graph.variable(i)
+            graph.add_factor(FactorFunction.IS_TRUE, [i],
+                             graph.weight(("u", i), float(rng.normal(0, 1))))
+        graph.add_factor(FactorFunction.IMPLY, [0, 1], graph.weight("g0", 1.0))
+        graph.add_factor(FactorFunction.EQUAL, [2, 3], graph.weight("g1", -0.7))
+        graph.add_factor(FactorFunction.OR, [3, 4, 5], graph.weight("g2", 0.9))
+        permutation = np.array([5, 3, 0, 1, 4, 2])
+        permuted = self.permuted_pair(graph, permutation)
+
+        original = GibbsSampler(CompiledGraph(graph), seed=1).marginals(
+            num_samples=8000, burn_in=400).by_key(CompiledGraph(graph))
+        relabeled = GibbsSampler(CompiledGraph(permuted), seed=2).marginals(
+            num_samples=8000, burn_in=400).by_key(CompiledGraph(permuted))
+        for key in range(6):
+            assert abs(original[key] - relabeled[int(permutation[key])]) < 0.04
