@@ -41,6 +41,17 @@ class SignedDelta:
         else:
             self._counts[stored] = new
 
+    def add_counted(self, rows: Iterable[Row],
+                    counts: Iterable[int]) -> None:
+        """Bulk-accumulate already-validated rows (columnar kernel output)."""
+        bag = self._counts
+        for row, count in zip(rows, counts):
+            new = bag[row] + count
+            if new == 0:
+                del bag[row]
+            else:
+                bag[row] = new
+
     def items(self) -> Iterator[tuple[Row, int]]:
         return iter(self._counts.items())
 
@@ -78,23 +89,26 @@ class MaterializedView:
     the incremental grounder consumes.
     """
 
-    def __init__(self, name: str, plan, db) -> None:
+    def __init__(self, name: str, plan, db, build_cache=None) -> None:
         from repro.datastore.incremental import IncrementalEvaluator
 
         self.name = name
         self.plan = plan
         self.schema = plan.schema(db)
-        self._evaluator = IncrementalEvaluator(plan, db)
+        self._evaluator = IncrementalEvaluator(plan, db,
+                                               store_cache=build_cache)
         self._derivations: Counter[Row] = self._evaluator.current()
 
     # ------------------------------------------------------------------ reads
     def visible(self) -> Relation:
         """The view's current contents under set semantics."""
-        out = Relation(self.name, self.schema)
-        for row, count in self._derivations.items():
-            if count > 0:
-                out.insert(row)
-        return out
+        counts = {row: 1 for row, count in self._derivations.items() if count > 0}
+        return Relation.from_counts(self.name, self.schema, counts,
+                                    validate=False)
+
+    def visible_rows(self) -> list[Row]:
+        """Visible rows as a list -- the bulk read the grounder consumes."""
+        return [row for row, count in self._derivations.items() if count > 0]
 
     def derivation_count(self, row: Sequence[Any]) -> int:
         return self._derivations.get(self.schema.validate_row(row), 0)
@@ -146,11 +160,17 @@ class ViewSet:
         self._db = db
         self._views: dict[str, MaterializedView] = {}
 
-    def define(self, name: str, plan) -> MaterializedView:
-        """Materialize ``plan`` as view ``name`` over the current database."""
+    def define(self, name: str, plan, build_cache=None) -> MaterializedView:
+        """Materialize ``plan`` as view ``name`` over the current database.
+
+        ``build_cache`` (an ``id(plan node) -> ColumnStore`` dict) may be
+        shared across several ``define`` calls made over an unchanged
+        database to reuse columnar initial-load results for plan subtrees
+        that appear (by object identity) in more than one view.
+        """
         if name in self._views:
             raise ValueError(f"view {name!r} already defined")
-        view = MaterializedView(name, plan, self._db)
+        view = MaterializedView(name, plan, self._db, build_cache)
         self._views[name] = view
         return view
 

@@ -6,56 +6,123 @@ renaming, equi-join (hash join), union/difference under bag semantics,
 distinct, and group-by aggregation.
 
 All operators return *new* relations and never mutate their inputs.
+
+Two execution backends implement every operator:
+
+* the **row engine** (the ``_*_rows`` functions below) -- tuple-at-a-time
+  over dict-keyed counts; the reference implementation, and the fast path
+  for tiny inputs where kernel launch overhead would dominate;
+* the **columnar engine** (:mod:`repro.datastore.columnar`) -- vectorized
+  kernels over dictionary-encoded numpy columns.
+
+Each public operator dispatches between them: an explicit ``backend=``
+argument wins, then the ``REPRO_DATASTORE_BACKEND`` environment variable /
+:func:`use_backend` override, and in ``auto`` mode the planner picks the
+columnar engine when an input relation reaches :data:`COLUMNAR_THRESHOLD`
+distinct rows, falling back to the row engine for small deltas.  The two
+backends are bag-equivalent (see ``tests/property/test_query_backends.py``).
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import os
+from contextlib import contextmanager
 from typing import Any, Callable, Sequence
 
 from repro.datastore.relation import Relation, Row
-from repro.datastore.schema import Schema, SchemaError
+from repro.datastore.schema import Column, Schema, SchemaError
+from repro.datastore.types import ColumnType
 
 Predicate = Callable[[dict[str, Any]], bool]
 
+#: Inputs with at least this many distinct rows take the columnar path in
+#: ``auto`` mode.  Crossover measured on the spouse workload: below ~tens of
+#: rows, encode/decode overhead beats the vectorization win.
+COLUMNAR_THRESHOLD = int(os.environ.get("REPRO_COLUMNAR_THRESHOLD", "48"))
 
-def select(relation: Relation, predicate: Predicate, name: str | None = None) -> Relation:
-    """Rows of ``relation`` whose dict form satisfies ``predicate``."""
-    out = Relation(name or f"select({relation.name})", relation.schema)
-    for row, count in relation.counted_rows():
-        if predicate(relation.schema.row_dict(row)):
-            out.insert(row, count)
-    return out
+_forced_backend: str | None = None
+_VALID_BACKENDS = ("auto", "row", "columnar")
+
+
+def current_backend() -> str:
+    """The session's backend mode: ``auto``, ``row``, or ``columnar``."""
+    if _forced_backend is not None:
+        return _forced_backend
+    mode = os.environ.get("REPRO_DATASTORE_BACKEND", "auto")
+    return mode if mode in _VALID_BACKENDS else "auto"
+
+
+def set_backend(mode: str | None) -> None:
+    """Force a backend for the whole process (``None`` restores ``auto``)."""
+    global _forced_backend
+    if mode is not None and mode not in _VALID_BACKENDS:
+        raise ValueError(f"unknown backend {mode!r}; want one of {_VALID_BACKENDS}")
+    _forced_backend = mode
+
+
+@contextmanager
+def use_backend(mode: str):
+    """Scope a forced backend (debugging / benchmarking aid)."""
+    previous = _forced_backend
+    set_backend(mode)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def _pick(backend: str | None, *relations: Relation) -> str:
+    mode = backend or current_backend()
+    if mode == "auto":
+        largest = max((r.distinct_count for r in relations), default=0)
+        return "columnar" if largest >= COLUMNAR_THRESHOLD else "row"
+    return mode
+
+
+# ============================================================== public ops
+def select(relation: Relation, predicate: Predicate, name: str | None = None,
+           condition: tuple | None = None,
+           backend: str | None = None) -> Relation:
+    """Rows of ``relation`` whose dict form satisfies ``predicate``.
+
+    ``condition`` optionally carries the predicate in structured form
+    ``(op, operand, operand)`` (operands ``("col", name)`` / ``("const", v)``)
+    so the columnar backend can evaluate it as a vectorized mask.
+    """
+    out_name = name or f"select({relation.name})"
+    if _pick(backend, relation) == "columnar":
+        from repro.datastore import columnar as C
+        return C.select(relation.columnar(), predicate,
+                        condition).to_relation(out_name)
+    return _select_rows(relation, predicate, out_name)
 
 
 def project(relation: Relation, columns: Sequence[str], name: str | None = None,
-            distinct: bool = False) -> Relation:
+            distinct: bool = False, backend: str | None = None) -> Relation:
     """Project ``relation`` onto ``columns`` (bag semantics unless ``distinct``)."""
-    schema = relation.schema.project(columns)
-    positions = [relation.schema.position(c) for c in columns]
-    out = Relation(name or f"project({relation.name})", schema)
-    for row, count in relation.counted_rows():
-        out.insert(tuple(row[i] for i in positions), 1 if distinct else count)
-    if distinct:
-        return _dedupe(out)
-    return out
+    out_name = name or f"project({relation.name})"
+    if _pick(backend, relation) == "columnar":
+        from repro.datastore import columnar as C
+        return C.project(relation.columnar(), columns,
+                         distinct=distinct).to_relation(out_name)
+    return _project_rows(relation, columns, out_name, distinct)
 
 
-def rename(relation: Relation, mapping: dict[str, str], name: str | None = None) -> Relation:
+def rename(relation: Relation, mapping: dict[str, str],
+           name: str | None = None, backend: str | None = None) -> Relation:
     """Rename columns of ``relation`` per ``mapping``."""
-    out = Relation(name or relation.name, relation.schema.rename(mapping))
-    for row, count in relation.counted_rows():
-        out.insert(row, count)
+    out = Relation.from_counts(name or relation.name,
+                               relation.schema.rename(mapping),
+                               relation.counted_rows(), validate=False)
     return out
 
 
 def extend(relation: Relation, column: str, column_type: str,
-           fn: Callable[[dict[str, Any]], Any], name: str | None = None) -> Relation:
+           fn: Callable[[dict[str, Any]], Any], name: str | None = None,
+           backend: str | None = None) -> Relation:
     """Append a computed column ``column`` = ``fn(row_dict)`` to every row."""
-    from repro.datastore.types import ColumnType
-    from repro.datastore.schema import Column
-
-    new_schema = Schema(relation.schema.columns + (Column(column, ColumnType(column_type)),))
+    new_schema = Schema(relation.schema.columns
+                        + (Column(column, ColumnType(column_type)),))
     out = Relation(name or relation.name, new_schema)
     for row, count in relation.counted_rows():
         out.insert(row + (fn(relation.schema.row_dict(row)),), count)
@@ -63,30 +130,120 @@ def extend(relation: Relation, column: str, column_type: str,
 
 
 def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None = None,
-         name: str | None = None) -> Relation:
+         name: str | None = None, backend: str | None = None) -> Relation:
     """Equi-join ``left`` and ``right``.
 
     ``on`` is a list of ``(left_column, right_column)`` pairs; if ``None``,
     a natural join on shared column names is performed.  The output schema is
     the concatenation of both schemas with right-side join columns dropped
     (natural-join style) and remaining right-side conflicts prefixed ``r_``.
-
-    Implemented as a hash join using the smaller side as the build input.
     """
     if on is None:
         shared = [c for c in left.schema.names if c in right.schema]
         on = [(c, c) for c in shared]
+    for column in (pair[0] for pair in on):
+        left.schema.position(column)
+    for column in (pair[1] for pair in on):
+        right.schema.position(column)
+    out_name = name or f"join({left.name},{right.name})"
+
+    if _pick(backend, left, right) == "columnar":
+        from repro.datastore import columnar as C
+        if C.columnar_supported(left.schema, right.schema, on):
+            return C.join(left.columnar(), right.columnar(),
+                          on).to_relation(out_name)
+    return _join_rows(left, right, on, out_name)
+
+
+def union(left: Relation, right: Relation, name: str | None = None,
+          backend: str | None = None) -> Relation:
+    """Bag union (counts add); schemas must match positionally by type."""
+    _require_compatible(left, right)
+    out_name = name or f"union({left.name},{right.name})"
+    if _pick(backend, left, right) == "columnar":
+        from repro.datastore import columnar as C
+        return C.union(left.columnar(), right.columnar()).to_relation(out_name)
+    out = left.copy(out_name)
+    for row, count in right.counted_rows():
+        out.insert(row, count)
+    return out
+
+
+def difference(left: Relation, right: Relation, name: str | None = None,
+               backend: str | None = None) -> Relation:
+    """Bag difference (counts subtract, floored at zero)."""
+    _require_compatible(left, right)
+    out_name = name or f"diff({left.name},{right.name})"
+    if _pick(backend, left, right) == "columnar":
+        from repro.datastore import columnar as C
+        return C.difference(left.columnar(),
+                            right.columnar()).to_relation(out_name)
+    counts = {}
+    for row, count in left.counted_rows():
+        remaining = count - right.count(row)
+        if remaining > 0:
+            counts[row] = remaining
+    return Relation.from_counts(out_name, left.schema, counts, validate=False)
+
+
+def distinct(relation: Relation, name: str | None = None,
+             backend: str | None = None) -> Relation:
+    """Set-semantics version of ``relation`` (every count becomes 1)."""
+    return Relation.from_counts(
+        name or f"distinct({relation.name})", relation.schema,
+        dict.fromkeys(relation.distinct_rows(), 1), validate=False)
+
+
+def aggregate(relation: Relation, group_by: Sequence[str],
+              aggregates: dict[str, tuple[str, str]],
+              name: str | None = None, backend: str | None = None) -> Relation:
+    """Group-by aggregation.
+
+    ``aggregates`` maps output column name to ``(function, input_column)``
+    where function is one of ``count``, ``sum``, ``min``, ``max``, ``avg``.
+    For ``count`` the input column is ignored (``'*'`` by convention).
+    Output columns are the group-by columns followed by the aggregates.
+    """
+    schema, agg_specs = _aggregate_schema(relation.schema, group_by, aggregates)
+    out_name = name or f"agg({relation.name})"
+    if _pick(backend, relation) == "columnar":
+        from repro.datastore import columnar as C
+        return C.aggregate(relation.columnar(), group_by, aggregates,
+                           schema).to_relation(out_name)
+    return _aggregate_rows(relation, group_by, agg_specs, schema, out_name)
+
+
+# ===================================================== row-engine reference
+def _select_rows(relation: Relation, predicate: Predicate, name: str) -> Relation:
+    counts = {}
+    row_dict = relation.schema.row_dict
+    for row, count in relation.counted_rows():
+        if predicate(row_dict(row)):
+            counts[row] = count
+    return Relation.from_counts(name, relation.schema, counts, validate=False)
+
+
+def _project_rows(relation: Relation, columns: Sequence[str], name: str,
+                  distinct: bool) -> Relation:
+    schema = relation.schema.project(columns)
+    positions = [relation.schema.position(c) for c in columns]
+    counts: dict[Row, int] = {}
+    for row, count in relation.counted_rows():
+        projected = tuple(row[i] for i in positions)
+        counts[projected] = counts.get(projected, 0) + count
+    if distinct:
+        counts = dict.fromkeys(counts, 1)
+    return Relation.from_counts(name, schema, counts, validate=False)
+
+
+def _join_rows(left: Relation, right: Relation,
+               on: Sequence[tuple[str, str]], name: str) -> Relation:
     left_keys = [pair[0] for pair in on]
     right_keys = [pair[1] for pair in on]
-    for column in left_keys:
-        left.schema.position(column)
-    for column in right_keys:
-        right.schema.position(column)
-
     keep_right = [c for c in right.schema.names if c not in right_keys]
     schema = left.schema.concat(right.schema.project(keep_right))
     keep_positions = [right.schema.position(c) for c in keep_right]
-    out = Relation(name or f"join({left.name},{right.name})", schema)
+    counts: dict[Row, int] = {}
 
     # Build on the smaller relation to keep the hash table small.
     build, probe, build_keys, probe_keys, build_is_left = (
@@ -106,92 +263,83 @@ def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None =
         for build_row, build_count in matches:
             left_row, right_row = (build_row, probe_row) if build_is_left else (probe_row, build_row)
             combined = left_row + tuple(right_row[i] for i in keep_positions)
-            out.insert(combined, probe_count * build_count)
-    return out
+            counts[combined] = counts.get(combined, 0) + probe_count * build_count
+    return Relation.from_counts(name, schema, counts, validate=False)
 
 
-def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """Bag union (counts add); schemas must match positionally by type."""
-    _require_compatible(left, right)
-    out = left.copy(name or f"union({left.name},{right.name})")
-    for row, count in right.counted_rows():
-        out.insert(row, count)
-    return out
-
-
-def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """Bag difference (counts subtract, floored at zero)."""
-    _require_compatible(left, right)
-    out = Relation(name or f"diff({left.name},{right.name})", left.schema)
-    for row, count in left.counted_rows():
-        remaining = count - right.count(row)
-        if remaining > 0:
-            out.insert(row, remaining)
-    return out
-
-
-def distinct(relation: Relation, name: str | None = None) -> Relation:
-    """Set-semantics version of ``relation`` (every count becomes 1)."""
-    out = Relation(name or f"distinct({relation.name})", relation.schema)
-    for row in relation.distinct_rows():
-        out.insert(row)
-    return out
-
-
-def aggregate(relation: Relation, group_by: Sequence[str],
-              aggregates: dict[str, tuple[str, str]],
-              name: str | None = None) -> Relation:
-    """Group-by aggregation.
-
-    ``aggregates`` maps output column name to ``(function, input_column)``
-    where function is one of ``count``, ``sum``, ``min``, ``max``, ``avg``.
-    For ``count`` the input column is ignored (``'*'`` by convention).
-    Output columns are the group-by columns followed by the aggregates.
-    """
-    from repro.datastore.schema import Column
-    from repro.datastore.types import ColumnType
-
-    group_positions = [relation.schema.position(c) for c in group_by]
-    agg_specs = []
-    out_columns = list(relation.schema.project(group_by).columns)
+def _aggregate_schema(schema: Schema, group_by: Sequence[str],
+                      aggregates: dict[str, tuple[str, str]],
+                      ) -> tuple[Schema, list[tuple[str, str, int | None]]]:
+    """Shared output-schema/spec computation so both backends agree."""
+    agg_specs: list[tuple[str, str, int | None]] = []
+    out_columns = list(schema.project(group_by).columns)
     for out_name, (fn, input_column) in aggregates.items():
         if fn not in ("count", "sum", "min", "max", "avg"):
             raise SchemaError(f"unknown aggregate function {fn!r}")
-        position = None if fn == "count" else relation.schema.position(input_column)
+        position = None if fn == "count" else schema.position(input_column)
+        if fn in ("sum", "avg") and schema.columns[position].type in (
+                ColumnType.TEXT, ColumnType.ARRAY):
+            raise SchemaError(
+                f"aggregate {fn!r} is not defined for "
+                f"{schema.columns[position].type} column {input_column!r}")
         agg_specs.append((out_name, fn, position))
         if fn == "count":
             ctype = ColumnType.INT
         elif fn == "avg":
             ctype = ColumnType.FLOAT
         else:
-            ctype = relation.schema.columns[position].type
+            ctype = schema.columns[position].type
         out_columns.append(Column(out_name, ctype))
+    return Schema(tuple(out_columns)), agg_specs
 
-    groups: dict[tuple[Any, ...], list[tuple[Row, int]]] = {}
+
+def _aggregate_rows(relation: Relation, group_by: Sequence[str],
+                    agg_specs: list[tuple[str, str, int | None]],
+                    schema: Schema, name: str) -> Relation:
+    """Count-weighted row-engine aggregation.
+
+    Bag multiplicities contribute directly to count/sum/avg accumulators --
+    no ``range(count)`` expansion, so cost is O(distinct rows), not
+    O(total multiplicity).
+    """
+    group_positions = [relation.schema.position(c) for c in group_by]
+
+    # per group: [count_total, then per agg (sum_acc, weight) or (extreme,)]
+    groups: dict[tuple[Any, ...], list] = {}
     for row, count in relation.counted_rows():
-        groups.setdefault(tuple(row[i] for i in group_positions), []).append((row, count))
-
-    out = Relation(name or f"agg({relation.name})", Schema(tuple(out_columns)))
-    for key, members in groups.items():
-        values: list[Any] = []
-        for _, fn, position in agg_specs:
+        key = tuple(row[i] for i in group_positions)
+        state = groups.get(key)
+        if state is None:
+            state = groups[key] = [0] + [[None, 0] for _ in agg_specs]
+        state[0] += count
+        for slot, (_, fn, position) in enumerate(agg_specs, start=1):
             if fn == "count":
-                values.append(sum(count for _, count in members))
                 continue
-            observed = [row[position] for row, count in members for _ in range(count)
-                        if row[position] is not None]
-            if not observed:
-                values.append(None)
-            elif fn == "sum":
-                values.append(sum(observed))
+            value = row[position]
+            if value is None:
+                continue
+            acc = state[slot]
+            if fn in ("sum", "avg"):
+                acc[0] = value * count if acc[0] is None else acc[0] + value * count
+                acc[1] += count
             elif fn == "min":
-                values.append(min(observed))
-            elif fn == "max":
-                values.append(max(observed))
-            else:  # avg
-                values.append(sum(observed) / len(observed))
-        out.insert(key + tuple(values))
-    return out
+                acc[0] = value if acc[0] is None else min(acc[0], value)
+            else:  # max
+                acc[0] = value if acc[0] is None else max(acc[0], value)
+
+    counts: dict[Row, int] = {}
+    for key, state in groups.items():
+        values: list[Any] = []
+        for slot, (_, fn, _position) in enumerate(agg_specs, start=1):
+            if fn == "count":
+                values.append(state[0])
+            elif fn == "avg":
+                total, weight = state[slot]
+                values.append(None if weight == 0 else total / weight)
+            else:
+                values.append(state[slot][0])
+        counts[schema.validate_row(key + tuple(values))] = 1
+    return Relation.from_counts(name, schema, counts, validate=False)
 
 
 def _require_compatible(left: Relation, right: Relation) -> None:
@@ -200,9 +348,3 @@ def _require_compatible(left: Relation, right: Relation) -> None:
     if left_types != right_types:
         raise SchemaError(
             f"incompatible schemas for set operation: {left.schema.names} vs {right.schema.names}")
-
-
-def _dedupe(relation: Relation) -> Relation:
-    out = Relation(relation.name, relation.schema)
-    out._counts = Counter(dict.fromkeys(relation._counts, 1))
-    return out

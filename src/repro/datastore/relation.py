@@ -13,7 +13,7 @@ insert/delete paths.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.datastore.schema import Schema, SchemaError
 
@@ -28,13 +28,43 @@ class Relation:
         self.schema = schema
         self._counts: Counter[Row] = Counter()
         self._indexes: dict[tuple[int, ...], dict[tuple[Any, ...], Counter[Row]]] = {}
+        self._total = 0            # cached sum of multiplicities
+        self._version = 0          # bumped on every mutation (cache keys)
+        self._columnar: tuple[int, Any] | None = None   # (version, ColumnStore)
         for row in rows:
             self.insert(row)
 
+    @classmethod
+    def from_counts(cls, name: str, schema: Schema,
+                    counts: Mapping[Row, int] | Iterable[tuple[Row, int]],
+                    validate: bool = True) -> "Relation":
+        """Bulk-construct a relation from ``row -> count`` data.
+
+        The public constructor path for query backends: results computed as
+        count bags (row or columnar) become relations without per-row insert
+        and index bookkeeping.  ``validate=False`` skips schema coercion for
+        rows that already passed through it (e.g. decoded columnar output).
+        """
+        items = counts.items() if isinstance(counts, Mapping) else counts
+        relation = cls(name, schema)
+        bag = relation._counts
+        if validate:
+            validate_row = schema.validate_row
+            for row, count in items:
+                if count <= 0:
+                    raise ValueError(
+                        f"from_counts needs positive counts, got {count} for {row!r}")
+                bag[validate_row(row)] += count
+        else:
+            for row, count in items:
+                bag[row] += count
+        relation._total = sum(bag.values())
+        return relation
+
     # ------------------------------------------------------------------ basic
     def __len__(self) -> int:
-        """Number of rows, counting multiplicity."""
-        return sum(self._counts.values())
+        """Number of rows, counting multiplicity (cached, O(1))."""
+        return self._total
 
     def __iter__(self) -> Iterator[Row]:
         """Iterate rows with multiplicity (a row with count 3 appears 3 times)."""
@@ -64,6 +94,10 @@ class Relation:
         """Iterate ``(row, count)`` pairs."""
         return iter(self._counts.items())
 
+    def counts_copy(self) -> Counter[Row]:
+        """An independent ``row -> count`` Counter snapshot (one C-level copy)."""
+        return Counter(self._counts)
+
     # ---------------------------------------------------------------- updates
     def insert(self, row: Sequence[Any], count: int = 1) -> Row:
         """Insert ``row`` with multiplicity ``count``; return the stored tuple."""
@@ -71,18 +105,36 @@ class Relation:
             raise ValueError(f"insert count must be positive, got {count}")
         stored = self.schema.validate_row(row)
         self._counts[stored] += count
+        self._total += count
+        self._version += 1
         for key_positions, index in self._indexes.items():
             key = tuple(stored[i] for i in key_positions)
             index.setdefault(key, Counter())[stored] += count
         return stored
 
-    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert every row in ``rows``; return the number inserted."""
-        inserted = 0
-        for row in rows:
-            self.insert(row)
-            inserted += 1
-        return inserted
+    def insert_many(self, rows: Iterable[Sequence[Any]],
+                    validate: bool = True) -> int:
+        """Insert every row in ``rows`` (multiplicity 1 each); return the
+        number inserted.
+
+        ``validate=False`` skips schema coercion for rows that already passed
+        through it (e.g. materialized-view output consumed by the grounder);
+        counts, version and any live hash indexes are maintained in one pass.
+        """
+        if validate:
+            rows = [self.schema.validate_row(row) for row in rows]
+        elif not isinstance(rows, list):
+            rows = list(rows)
+        if not rows:
+            return 0
+        self._counts.update(rows)
+        self._total += len(rows)
+        self._version += 1
+        for key_positions, index in self._indexes.items():
+            for stored in rows:
+                key = tuple(stored[i] for i in key_positions)
+                index.setdefault(key, Counter())[stored] += 1
+        return len(rows)
 
     def delete(self, row: Sequence[Any], count: int = 1) -> int:
         """Remove up to ``count`` copies of ``row``; return how many were removed."""
@@ -97,6 +149,8 @@ class Relation:
             del self._counts[stored]
         else:
             self._counts[stored] = present - removed
+        self._total -= removed
+        self._version += 1
         for key_positions, index in self._indexes.items():
             key = tuple(stored[i] for i in key_positions)
             bucket = index.get(key)
@@ -112,6 +166,8 @@ class Relation:
     def clear(self) -> None:
         """Remove all rows (indexes are kept but emptied)."""
         self._counts.clear()
+        self._total = 0
+        self._version += 1
         for index in self._indexes.values():
             index.clear()
 
@@ -168,4 +224,24 @@ class Relation:
         """Deep-enough copy: shares row tuples (immutable) but not counts/indexes."""
         clone = Relation(name or self.name, self.schema)
         clone._counts = Counter(self._counts)
+        clone._total = self._total
         return clone
+
+    # ---------------------------------------------------------- columnar view
+    def columnar(self, pool=None):
+        """This relation dictionary-encoded as a :class:`ColumnStore`.
+
+        The encoding is cached against the relation's mutation version, so
+        repeated plan evaluations over unchanged base data encode once.  Only
+        encodings against the default pool are cached.
+        """
+        from repro.datastore import columnar as C
+
+        if pool is None or pool is C.DEFAULT_POOL:
+            cached = self._columnar
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            store = C.ColumnStore.from_relation(self, C.DEFAULT_POOL)
+            self._columnar = (self._version, store)
+            return store
+        return C.ColumnStore.from_relation(self, pool)

@@ -25,6 +25,11 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
     ">=": lambda a, b: a >= b,
 }
 
+#: Ordered comparisons involving NULL are false (SQL semantics); equality
+#: keeps Python semantics (None == None) so selections agree with how joins
+#: and distinct hash NULL keys.  Both query backends implement this rule.
+_ORDERED_OPS = ("<", "<=", ">", ">=")
+
 
 class CompileError(ValueError):
     """Raised when a validated-looking rule still cannot be compiled."""
@@ -85,7 +90,8 @@ def compile_body(rule: Rule, declarations: Mapping[str, Declaration],
         elif isinstance(item, Comparison):
             if plan is None:
                 raise CompileError("condition before any relation atom")
-            plan = Select(plan, _comparison_fn(item))
+            plan = Select(plan, _comparison_fn(item),
+                          condition=_comparison_condition(item))
         elif isinstance(item, UdfCondition):
             if plan is None:
                 raise CompileError("condition before any relation atom")
@@ -167,12 +173,17 @@ def _compile_atom(atom: RelationAtom,
     keep: list[int] = []
     for position, term in enumerate(atom.terms):
         if isinstance(term, Const):
-            plan = Select(plan, lambda row, c=columns[position], v=term.value: row[c] == v)
+            plan = Select(plan,
+                          lambda row, c=columns[position], v=term.value: row[c] == v,
+                          condition=("==", ("col", columns[position]),
+                                     ("const", term.value)))
         else:
             if term.name in first_position:
                 other = first_position[term.name]
                 plan = Select(plan, lambda row, a=columns[position],
-                              b=columns[other]: row[a] == row[b])
+                              b=columns[other]: row[a] == row[b],
+                              condition=("==", ("col", columns[position]),
+                                         ("col", columns[other])))
             else:
                 first_position[term.name] = position
                 keep.append(position)
@@ -203,13 +214,24 @@ def _udf_row_fn(udf: Udf, args: tuple) -> Callable[[dict], Any]:
 
 def _comparison_fn(item: Comparison) -> Callable[[dict], bool]:
     compare = _COMPARATORS[item.op]
+    null_is_false = item.op in _ORDERED_OPS
 
     def predicate(row: dict) -> bool:
         left = row[item.left.name] if isinstance(item.left, Var) else item.left.value
         right = row[item.right.name] if isinstance(item.right, Var) else item.right.value
+        if null_is_false and (left is None or right is None):
+            return False
         return compare(left, right)
 
     return predicate
+
+
+def _comparison_condition(item: Comparison) -> tuple:
+    """Structured ``(op, operand, operand)`` form for the columnar backend."""
+    def operand(term):
+        return ("col", term.name) if isinstance(term, Var) \
+            else ("const", term.value)
+    return (item.op, operand(item.left), operand(item.right))
 
 
 def program_schemas(program: ProgramAst) -> dict[str, tuple[tuple[str, str], ...]]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.datastore import Database
 from repro.datastore.relation import Row
@@ -106,6 +106,11 @@ class Grounder:
         # var relation -> tuple -> label counter (distant supervision votes)
         self._evidence_votes: dict[str, dict[Row, Counter]] = {}
         self._view_rules: dict[str, int] = {}
+        self._rule_schemas: dict[int, Any] = {}
+        # compiled per-rule grounding recipes: positional head readers and
+        # weight resolvers, so _ground_row never builds a row dict
+        self._head_readers: dict[int, list[Callable[[Row], Row]]] = {}
+        self._weight_fns: dict[int, Callable[[Row], list[int]]] = {}
 
         self._define_views()
         self._initial_load()
@@ -113,35 +118,45 @@ class Grounder:
     # ----------------------------------------------------------------- set-up
     def _define_views(self) -> None:
         views = self.db.views
+        # DDlog expansion inlines derived-relation plans by object identity
+        # into every consuming view, so a build-scoped store cache lets the
+        # columnar initial load compute each shared subtree once.  The cache
+        # must not outlive this method: base relations mutate afterwards.
+        build_cache: dict[int, Any] = {}
         for name, plan in self._derived.items():
-            views.define(f"derived::{name}", plan)
+            views.define(f"derived::{name}", plan, build_cache)
         for index, rule in enumerate(self._rules):
             if rule.kind == RuleKind.DERIVATION:
                 continue
             plan = expanded_rule_body(rule, self.program.ast, self.program.udfs,
                                       self._derived)
             view_name = f"rule::{index}"
-            views.define(view_name, plan)
+            views.define(view_name, plan, build_cache)
             self._view_rules[view_name] = index
+            self._rule_schemas[index] = views[view_name].schema
+            self._compile_rule(index)
 
     def _initial_load(self) -> None:
         for name in self._derived:
             relation = self.db[name]
             relation.clear()
-            for row in self.db.views[f"derived::{name}"].visible():
-                relation.insert(row)
+            # view rows already passed schema validation on their way in
+            relation.insert_many(
+                self.db.views[f"derived::{name}"].visible_rows(),
+                validate=False)
         delta = GroundingDelta()
         # Evidence first, so variables created by rule grounding see labels.
         for view_name, index in self._view_rules.items():
             if self._rules[index].kind == RuleKind.SUPERVISION:
-                rows = list(self.db.views[view_name].visible())
+                rows = self.db.views[view_name].visible_rows()
                 self._apply_supervision(index, appeared=rows, disappeared=[],
                                         delta=delta)
         for view_name, index in self._view_rules.items():
             rule = self._rules[index]
             if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE):
-                for row in self.db.views[view_name].visible():
-                    self._ground_row(index, row, delta)
+                ground_row = self._ground_row
+                for row in self.db.views[view_name].visible_rows():
+                    ground_row(index, row, delta)
 
     # ----------------------------------------------------------- public API
     def apply_changes(self, inserts: dict[str, list[Sequence[Any]]] | None = None,
@@ -184,17 +199,115 @@ class Grounder:
         return [v.key for v in self.graph.variables.values()]
 
     # ------------------------------------------------------------- grounding
+    def _compile_rule(self, index: int) -> None:
+        """Precompute positional head readers and the weight resolver.
+
+        The rule view's rows arrive schema-validated, so head tuples can be
+        assembled by position (re-validating only when the view's column type
+        differs from the target relation's) and weight keys resolved without
+        materializing a row dict -- the per-row hot path of grounding.
+        """
+        rule = self._rules[index]
+        schema = self._rule_schemas[index]
+        self._head_readers[index] = [
+            self._make_head_reader(rule, head_index, schema)
+            for head_index in range(len(rule.heads))]
+        if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE):
+            self._weight_fns[index] = self._make_weight_fn(index, rule, schema)
+
+    def _make_head_reader(self, rule: Rule, head_index: int,
+                          schema) -> Callable[[Row], Row]:
+        from repro.datastore.types import coerce
+
+        head = rule.heads[head_index]
+        target = self.db[head.relation].schema
+        parts: list[tuple[int | None, Any]] = []
+        revalidate = False
+        for position, term in enumerate(head.terms):
+            if isinstance(term, Var):
+                view_position = schema.position(term.name)
+                parts.append((view_position, None))
+                if schema.columns[view_position].type \
+                        is not target.columns[position].type:
+                    revalidate = True
+            else:
+                parts.append((None, coerce(term.value,
+                                           target.columns[position].type)))
+        if revalidate:
+            validate = target.validate_row
+
+            def read(row: Row) -> Row:
+                return validate(tuple(row[p] if p is not None else v
+                                      for p, v in parts))
+        else:
+            def read(row: Row) -> Row:
+                return tuple(row[p] if p is not None else v for p, v in parts)
+        return read
+
+    def _make_weight_fn(self, index: int, rule: Rule,
+                        schema) -> Callable[[Row], list[int]]:
+        spec = rule.weight
+        if isinstance(spec, (FixedWeight, PerRuleWeight)):
+            fixed = isinstance(spec, FixedWeight)
+            key = f"rule{index}:fixed" if fixed else f"rule{index}:*"
+            cache: list[int] = []
+
+            def constant(row: Row) -> list[int]:
+                if not cache:       # weight registered on first grounded row
+                    cache.append(self.graph.weight(
+                        key, initial_value=spec.value, fixed=True) if fixed
+                        else self.graph.weight(key))
+                    self._note_weight(key, rule, index,
+                                      "fixed" if fixed else "per-rule")
+                return cache
+            return constant
+        if isinstance(spec, VarWeight):
+            position = schema.position(spec.var)
+
+            def per_value(row: Row) -> list[int]:
+                value = row[position]
+                key = f"rule{index}:{value}"
+                weight_id = self.graph.weight(key)
+                self._note_weight(key, rule, index, str(value))
+                return [weight_id]
+            return per_value
+        if isinstance(spec, UdfWeight):
+            udf = self.program.udfs[spec.udf]
+            parts = [(schema.position(a.name), None) if isinstance(a, Var)
+                     else (None, a.value) for a in spec.args]
+
+            def per_udf(row: Row) -> list[int]:
+                values = tuple(row[p] if p is not None else v
+                               for p, v in parts)
+                try:
+                    result = udf(*values)
+                except Exception as exc:    # noqa: BLE001 - rewrapped with context
+                    from repro.ddlog.compiler import UdfError
+                    raise UdfError(spec.udf, values, exc) from exc
+                if result is None:
+                    return []
+                outputs = [result] if isinstance(result,
+                                                 (str, int, float, bool)) \
+                    else list(result)
+                weight_ids = []
+                for value in outputs:
+                    key = f"rule{index}:{value}"
+                    weight_ids.append(self.graph.weight(key))
+                    self._note_weight(key, rule, index, str(value))
+                return weight_ids
+            return per_udf
+        raise GroundingError(f"rule {index} has no weight specification")
+
     def _ground_row(self, index: int, row: Row, delta: GroundingDelta) -> None:
         rule = self._rules[index]
-        schema = self.db.views[f"rule::{index}"].schema
-        row_dict = schema.row_dict(row)
-        weight_ids = self._weights_for(index, rule, row_dict)
+        weight_ids = self._weight_fns[index](row)
         if not weight_ids:
             return
+        readers = self._head_readers[index]
         factor_ids: list[int] = []
         if rule.kind == RuleKind.FEATURE:
             var_id, created = self._variable_for(rule.head.relation,
-                                                 self._head_tuple(rule, 0, row_dict))
+                                                 readers[0](row))
             if created:
                 delta.variables_added += 1
             delta.touched_keys.add(self.graph.variables[var_id].key)
@@ -205,8 +318,8 @@ class Grounder:
             var_ids: list[int] = []
             negated: list[bool] = []
             for head_index, head in enumerate(rule.heads):
-                var_id, created = self._variable_for(
-                    head.relation, self._head_tuple(rule, head_index, row_dict))
+                var_id, created = self._variable_for(head.relation,
+                                                     readers[head_index](row))
                 if created:
                     delta.variables_added += 1
                 delta.touched_keys.add(self.graph.variables[var_id].key)
@@ -262,53 +375,7 @@ class Grounder:
                 self.graph.variables[var_id].evidence = label
         return var_id, created
 
-    def _head_tuple(self, rule: Rule, head_index: int, row_dict: dict) -> Row:
-        head = rule.heads[head_index]
-        values = tuple(row_dict[t.name] if isinstance(t, Var) else t.value
-                       for t in head.terms)
-        schema = self.db[head.relation].schema
-        return schema.validate_row(values)
-
     # --------------------------------------------------------------- weights
-    def _weights_for(self, index: int, rule: Rule, row_dict: dict) -> list[int]:
-        spec = rule.weight
-        if isinstance(spec, FixedWeight):
-            key = f"rule{index}:fixed"
-            weight_id = self.graph.weight(key, initial_value=spec.value, fixed=True)
-            self._note_weight(key, rule, index, "fixed")
-            return [weight_id]
-        if isinstance(spec, PerRuleWeight):
-            key = f"rule{index}:*"
-            weight_id = self.graph.weight(key)
-            self._note_weight(key, rule, index, "per-rule")
-            return [weight_id]
-        if isinstance(spec, VarWeight):
-            value = row_dict[spec.var]
-            key = f"rule{index}:{value}"
-            weight_id = self.graph.weight(key)
-            self._note_weight(key, rule, index, str(value))
-            return [weight_id]
-        if isinstance(spec, UdfWeight):
-            udf = self.program.udfs[spec.udf]
-            values = tuple(row_dict[a.name] if isinstance(a, Var) else a.value
-                           for a in spec.args)
-            try:
-                result = udf(*values)
-            except Exception as exc:        # noqa: BLE001 - rewrapped with context
-                from repro.ddlog.compiler import UdfError
-                raise UdfError(spec.udf, values, exc) from exc
-            if result is None:
-                return []
-            values = [result] if isinstance(result, (str, int, float, bool)) \
-                else list(result)
-            weight_ids = []
-            for value in values:
-                key = f"rule{index}:{value}"
-                weight_ids.append(self.graph.weight(key))
-                self._note_weight(key, rule, index, str(value))
-            return weight_ids
-        raise GroundingError(f"rule {index} has no weight specification")
-
     def _note_weight(self, key: str, rule: Rule, index: int, description: str) -> None:
         if key not in self.weight_provenance:
             self.weight_provenance[key] = WeightProvenance(
@@ -320,14 +387,13 @@ class Grounder:
                            delta: GroundingDelta) -> None:
         rule = self._rules[index]
         relation_name = evidence_base(rule.head.relation)
-        schema = self.db.views[f"rule::{index}"].schema
+        read_head = self._head_readers[index][0]
         evidence_relation = self.db[rule.head.relation]
         votes = self._evidence_votes.setdefault(relation_name, {})
         touched: set[Row] = set()
         for row, direction in [(r, +1) for r in appeared] + \
                               [(r, -1) for r in disappeared]:
-            row_dict = schema.row_dict(row)
-            head_values = self._head_tuple(rule, 0, row_dict)
+            head_values = read_head(row)
             values, label = head_values[:-1], bool(head_values[-1])
             counter = votes.setdefault(values, Counter())
             counter[label] += direction
