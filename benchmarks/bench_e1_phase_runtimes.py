@@ -13,23 +13,25 @@ from __future__ import annotations
 
 import time
 
-from conftest import once
+from conftest import RESULTS_DIR, once
 
 from repro.apps import spouse
 from repro.corpus import spouse as spouse_corpus
 from repro.datastore import query as Q
 from repro.inference import LearningOptions
+from repro.obs import EngineConfig
 
 PHASES = ["candidate_generation", "grounding", "learning", "inference"]
 
 
-def run_pipeline(num_couples: int, seed: int = 0):
+def run_pipeline(num_couples: int, seed: int = 0,
+                 config: EngineConfig | None = None):
     corpus = spouse_corpus.generate(
         spouse_corpus.SpouseConfig(num_couples=num_couples,
                                    num_distractor_pairs=num_couples,
                                    num_sibling_pairs=num_couples // 3),
         seed=seed)
-    app = spouse.build(corpus, seed=seed)
+    app = spouse.build(corpus, seed=seed, config=config)
     result = app.run(threshold=0.8, holdout_fraction=0.1,
                      learning=LearningOptions(epochs=40, seed=seed),
                      num_samples=150, burn_in=25,
@@ -60,6 +62,7 @@ def test_e1_phase_breakdown(benchmark, reporter):
     rows = []
     final = {}
     backends = {}
+    traced = {}
 
     def experiment():
         for size in sizes:
@@ -73,9 +76,18 @@ def test_e1_phase_breakdown(benchmark, reporter):
         # grounding-phase engine comparison at the largest corpus
         backends["row"] = ground_time(sizes[-1], "row")
         backends["columnar"] = ground_time(sizes[-1], "columnar")
+        # one traced run at the largest corpus for the per-operator
+        # breakdown and the CI trace artifact
+        _, result, _ = run_pipeline(sizes[-1],
+                                    config=EngineConfig(trace=True))
+        traced["profile"] = result.profile
         return final
 
     once(benchmark, experiment)
+
+    profile = traced["profile"]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    profile.write_jsonl(RESULTS_DIR / "e1_phase_runtimes.trace.jsonl")
 
     reporter.line("E1 / Figure 2 -- per-phase runtimes (spouse app)")
     reporter.line("paper (TAC-KBP): candidate generation & feature extraction is")
@@ -96,6 +108,15 @@ def test_e1_phase_breakdown(benchmark, reporter):
     reporter.line(f"grounding engine at {sizes[-1] * 2} docs: "
                   f"row {row_ms:.1f}ms, columnar {col_ms:.1f}ms "
                   f"({speedup:.2f}x)")
+
+    top = profile.top_spans(10)
+    reporter.line()
+    reporter.line(f"traced run at {sizes[-1] * 2} docs -- "
+                  "top spans by inclusive time:")
+    reporter.table(["span", "inclusive", "calls"],
+                   [[name, f"{secs:.3f}s", calls] for name, secs, calls in top])
+    assert top, "traced run recorded no spans"
+    assert any(name.startswith("grounding") for name, _, _ in top)
 
     # Shape: extraction (candidate generation + feature UDFs, which run
     # during grounding) dominates the end-to-end runtime, as in Figure 2.

@@ -16,8 +16,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from conftest import once
+from conftest import RESULTS_DIR, once
 
+from repro import obs
 from repro.baselines import VertexProgrammingGibbs
 from repro.factorgraph import CompiledGraph, FactorFunction, FactorGraph
 from repro.inference import GibbsSampler
@@ -90,9 +91,21 @@ def test_e3_chromatic_vs_reference_report(benchmark, reporter):
                             samples=samples_chromatic,
                             colors=compiled.num_colors)
         assert samples_chromatic == samples_reference
+
+        # traced marginal pass: per-color sweep timings + flip stats
+        collector = obs.Collector()
+        with obs.installed(collector):
+            traced = GibbsSampler(compiled, seed=0, engine="chromatic")
+            traced.marginals(num_samples=5, burn_in=2)
+        measurements["profile"] = obs.Profile(
+            spans=collector.roots, metrics=collector.metrics.snapshot())
         return measurements
 
     once(benchmark, experiment)
+
+    profile = measurements["profile"]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    profile.write_jsonl(RESULTS_DIR / "e3_gibbs_sweeps.trace.jsonl")
 
     chromatic_rate = measurements["samples"] / measurements["chromatic_time"]
     reference_rate = measurements["samples"] / measurements["reference_time"]
@@ -107,6 +120,24 @@ def test_e3_chromatic_vs_reference_report(benchmark, reporter):
          ["scalar reference", f"{reference_rate:,.0f}", "1.00x"]])
     reporter.line()
     reporter.line(f"measured speedup: {speedup:.2f}x (acceptance floor: 3x)")
+
+    top = profile.top_spans(10)
+    reporter.line()
+    reporter.line("traced marginal pass -- top spans by inclusive time:")
+    reporter.table(["span", "inclusive", "calls"],
+                   [[name, f"{secs:.4f}s", calls]
+                    for name, secs, calls in top])
+    histograms = profile.metrics.get("histograms", {})
+    color_rows = [[key, h["count"], f"{h['mean'] * 1e6:.1f}us"]
+                  for key, h in sorted(histograms.items())
+                  if key.startswith("gibbs.color_sweep_seconds")]
+    if color_rows:
+        reporter.line()
+        reporter.line("per-color sweep cost:")
+        reporter.table(["color", "passes", "mean"], color_rows)
+    assert profile.find("inference.marginals") is not None
+    assert any(key.startswith("gibbs.color_sweep_seconds")
+               for key in histograms)
 
     # Acceptance: the vectorized engine wins by at least 3x on the e3 graph.
     assert speedup > 3.0

@@ -4,7 +4,8 @@ Plays the role of the knowledge engineer across three iterations: run the
 system, produce the error-analysis document, read off the top failure
 bucket, apply the matching fix, and rerun.  Also demonstrates the
 supervision-overlap detector from Section 8 catching a bad feature before it
-poisons a training run.
+poisons a training run, and closes by profiling the final iteration with
+``EngineConfig(trace=True)`` to show where the time went.
 
 Run:  python examples/developer_loop.py
 """
@@ -15,6 +16,7 @@ from repro.core.app import DeepDive
 from repro.corpus import spouse as spouse_corpus
 from repro.inference import LearningOptions
 from repro.nlp.tokenize import token_texts
+from repro.obs import EngineConfig
 from repro.supervision import detect_supervision_overlap
 
 RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.1,
@@ -22,8 +24,8 @@ RUN_KWARGS = dict(threshold=0.8, holdout_fraction=0.1,
                   num_samples=200, burn_in=30, compute_train_histogram=False)
 
 
-def build(corpus, feature_fn, negatives, seed=0):
-    app = DeepDive(spouse.PROGRAM, seed=seed)
+def build(corpus, feature_fn, negatives, seed=0, config=None):
+    app = DeepDive(spouse.PROGRAM, seed=seed, config=config)
     app.register_udf("spouse_features", feature_fn)
     known_names = {name.lower() for name, _ in corpus.kb["NameEL"]}
     app.add_extractor("PersonCandidate",
@@ -99,6 +101,17 @@ def main():
             print("  WARNING:", warning.describe())
     else:
         print("  no feature duplicates a distant-supervision rule -- safe")
+
+    print("=" * 70)
+    print("where did the time go? (EngineConfig(trace=True))")
+    app = build(corpus, full_features, True,
+                config=EngineConfig(trace=True))
+    result = app.run(**RUN_KWARGS)
+    print(result.profile.render(max_depth=2))
+    print()
+    print("top spans by inclusive time:")
+    for name, seconds, calls in result.profile.top_spans(8):
+        print(f"  {name:<28} {seconds * 1000:8.1f}ms  x{calls}")
 
 
 if __name__ == "__main__":

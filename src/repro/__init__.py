@@ -24,6 +24,7 @@ Quickstart::
 from repro.core import DeepDive, RunResult
 from repro.ddlog import DDlogProgram
 from repro.nlp import Document, Sentence, Span
+from repro.obs import EngineConfig
 
 __version__ = "1.0.0"
 
@@ -31,6 +32,7 @@ __all__ = [
     "DDlogProgram",
     "DeepDive",
     "Document",
+    "EngineConfig",
     "RunResult",
     "Sentence",
     "Span",

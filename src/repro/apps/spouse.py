@@ -116,15 +116,18 @@ def person_extractor_factory(known_names: set[str]):
     return extract
 
 
-def build(corpus: GeneratedCorpus, seed: int = 0, joint: bool = False) -> DeepDive:
+def build(corpus: GeneratedCorpus, seed: int = 0, joint: bool = False,
+          config=None) -> DeepDive:
     """Wire the spouse application for a generated corpus.
 
     ``joint=True`` adds the entity-level aggregation rules (an IMPLY factor
     from each mention-pair variable into an entity-pair variable, plus a
     weak learned entity prior), demonstrating Markov-logic-style correlation
-    rules on top of the classifiers.
+    rules on top of the classifiers.  ``config`` (an
+    :class:`~repro.obs.config.EngineConfig`) is forwarded to the app.
     """
-    app = DeepDive(PROGRAM_JOINT if joint else PROGRAM, seed=seed)
+    app = DeepDive(PROGRAM_JOINT if joint else PROGRAM, seed=seed,
+                   config=config)
     app.register_udf("spouse_features", spouse_features, returns="text")
     if joint:
         # one learned prior weight shared by every entity pair

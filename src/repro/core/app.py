@@ -15,11 +15,12 @@ through DRed incremental grounding, per Section 4.1.
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.extractors import (CandidateExtractor, DocumentExtractor,
                                    DocumentExtractorFn, ExtractorFn,
                                    run_document_extractors, run_extractors)
@@ -32,24 +33,44 @@ from repro.factorgraph import CompiledGraph, FactorFunction
 from repro.grounding import Grounder, GroundingDelta
 from repro.inference import GibbsSampler, LearningOptions, learn_weights
 from repro.nlp.pipeline import Document, preprocess_document, sentence_row
+from repro.obs import EngineConfig, PhaseRecorder
 
 
 class DeepDive:
-    """A DeepDive application over one aspirational schema."""
+    """A DeepDive application over one aspirational schema.
 
-    def __init__(self, program: DDlogProgram | str, seed: int = 0) -> None:
+    ``config`` is the typed engine configuration: datastore backend,
+    columnar dispatch threshold, Gibbs sweep engine, NUMA topology, and
+    whether runs are traced.  When omitted it is read once from the
+    environment via :meth:`EngineConfig.from_env`; it is then threaded
+    explicitly through the database, grounder, and samplers, so mutating
+    the environment after construction has no effect.
+    """
+
+    def __init__(self, program: DDlogProgram | str, seed: int = 0,
+                 config: EngineConfig | None = None) -> None:
         self.program = (DDlogProgram.parse(program)
                         if isinstance(program, str) else program)
-        self.db = Database()
+        self.config = config if config is not None else EngineConfig.from_env()
+        self.db = Database(config=self.config)
         self.seed = seed
         self._extractors: list[CandidateExtractor] = []
         self._document_extractors: list[DocumentExtractor] = []
         self._grounder: Grounder | None = None
-        self._timings: dict[str, float] = {}
+        self._recorder = PhaseRecorder(trace=self.config.trace)
         # incremental-inference state: last run's chain + pending deltas
         self._chain_state: dict | None = None
         self._pending_touched: set = set()
         self._ensure_corpus_relations()
+
+    @property
+    def _timings(self) -> dict[str, float]:
+        """Deprecated phase-timing dict; use ``RunResult.profile`` instead."""
+        warnings.warn(
+            "DeepDive._timings is deprecated; read RunResult.profile "
+            "(or RunResult.phase_timings, derived from it)",
+            DeprecationWarning, stacklevel=2)
+        return self._recorder.profile().phase_seconds()
 
     def _ensure_corpus_relations(self) -> None:
         from repro.nlp.pipeline import DOCUMENT_SCHEMA, SENTENCE_SCHEMA
@@ -89,25 +110,27 @@ class DeepDive:
         load); afterwards changes propagate through incremental grounding.
         Returns the number of sentences loaded.
         """
-        start = time.perf_counter()
-        documents = list(documents)
-        sentences = []
-        for doc in documents:
-            sentences.extend(preprocess_document(doc))
-        candidate_rows = run_extractors(self._extractors, sentences)
-        inserts: dict[str, list] = {
-            "documents": [(d.doc_id, d.content) for d in documents],
-            "sentences": [sentence_row(s) for s in sentences],
-        }
-        for relation, rows in candidate_rows.items():
-            inserts.setdefault(relation, []).extend(rows)
-        for relation, rows in run_document_extractors(
-                self._document_extractors, documents).items():
-            inserts.setdefault(relation, []).extend(rows)
-        self._apply(inserts=inserts)
-        self._timings["candidate_generation"] = (
-            self._timings.get("candidate_generation", 0.0)
-            + time.perf_counter() - start)
+        with self._recorder.phase("candidate_generation") as phase:
+            documents = list(documents)
+            with obs.span("nlp.preprocess", documents=len(documents)):
+                sentences = []
+                for doc in documents:
+                    sentences.extend(preprocess_document(doc))
+            with obs.span("extractors.run",
+                          extractors=len(self._extractors)) as sp:
+                candidate_rows = run_extractors(self._extractors, sentences)
+                sp.set(candidates=sum(len(r) for r in candidate_rows.values()))
+            inserts: dict[str, list] = {
+                "documents": [(d.doc_id, d.content) for d in documents],
+                "sentences": [sentence_row(s) for s in sentences],
+            }
+            for relation, rows in candidate_rows.items():
+                inserts.setdefault(relation, []).extend(rows)
+            for relation, rows in run_document_extractors(
+                    self._document_extractors, documents).items():
+                inserts.setdefault(relation, []).extend(rows)
+            self._apply(inserts=inserts)
+            phase.set(documents=len(documents), sentences=len(sentences))
         return len(sentences)
 
     def add_rows(self, relation: str, rows: Iterable[Sequence]) -> None:
@@ -137,9 +160,12 @@ class DeepDive:
     def grounder(self) -> Grounder:
         """The (lazily created) incremental grounder."""
         if self._grounder is None:
-            start = time.perf_counter()
-            self._grounder = Grounder(self.program, self.db)
-            self._timings["grounding"] = time.perf_counter() - start
+            with self._recorder.phase("grounding") as phase:
+                self._grounder = Grounder(self.program, self.db,
+                                          config=self.config)
+                graph = self._grounder.graph
+                phase.set(variables=len(graph.variables),
+                          factors=len(graph.factors))
         return self._grounder
 
     @property
@@ -168,18 +194,22 @@ class DeepDive:
         holdout_labels = compiled.evidence_values[holdout].copy()
         compiled.is_evidence[holdout] = False
 
-        start = time.perf_counter()
-        options = learning or LearningOptions(seed=self.seed)
-        diagnostics = learn_weights(compiled, options)
-        self._timings["learning"] = time.perf_counter() - start
+        options = learning or LearningOptions(
+            seed=self.seed, engine=self.config.gibbs_engine)
+        with self._recorder.phase("learning", replace=True,
+                                  optimizer=options.optimizer) as phase:
+            diagnostics = learn_weights(compiled, options)
+            phase.set(epochs=diagnostics.epochs_run)
         compiled.export_weights(graph)
 
-        start = time.perf_counter()
-        sampler = GibbsSampler(compiled, seed=self.seed, clamp_evidence=True)
-        world = sampler.initial_assignment()
-        result = sampler.marginals(num_samples=num_samples, burn_in=burn_in,
-                                   assignment=world)
-        self._timings["inference"] = time.perf_counter() - start
+        with self._recorder.phase("inference", replace=True,
+                                  engine=self.config.gibbs_engine) as phase:
+            sampler = GibbsSampler(compiled, seed=self.seed,
+                                   clamp_evidence=True, config=self.config)
+            world = sampler.initial_assignment()
+            result = sampler.marginals(num_samples=num_samples,
+                                       burn_in=burn_in, assignment=world)
+            phase.set(num_samples=num_samples, burn_in=burn_in)
         self._chain_state = {
             "world": {key: bool(world[i])
                       for i, key in enumerate(compiled.var_keys)},
@@ -197,7 +227,8 @@ class DeepDive:
 
         train_pairs: list[tuple[float, bool]] = []
         if compute_train_histogram and compiled.is_evidence.any():
-            free = GibbsSampler(compiled, seed=self.seed + 1, clamp_evidence=False)
+            free = GibbsSampler(compiled, seed=self.seed + 1,
+                                clamp_evidence=False, config=self.config)
             free_result = free.marginals(num_samples=max(50, num_samples // 3),
                                          burn_in=burn_in)
             for i in np.nonzero(compiled.is_evidence)[0]:
@@ -207,7 +238,7 @@ class DeepDive:
         return RunResult(
             marginals=marginals,
             threshold=threshold,
-            phase_timings=dict(self._timings),
+            profile=self._recorder.profile(),
             holdout_pairs=holdout_pairs,
             train_pairs=train_pairs,
             graph_stats=graph.stats(),
@@ -248,17 +279,19 @@ class DeepDive:
             if key in self._pending_touched:
                 changed.add(index)
 
-        start = time.perf_counter()
-        strategy = SamplingMaterialization.from_state(
-            compiled, world, marginals, seed=self.seed + 7)
-        if changed:
-            update = strategy.update(changed, radius=radius,
-                                     num_samples=num_samples, burn_in=burn_in)
-            marginals = update.marginals
-        else:
-            clamped = compiled.is_evidence
-            marginals[clamped] = compiled.evidence_values[clamped]
-        self._timings["incremental_inference"] = time.perf_counter() - start
+        with self._recorder.phase("incremental_inference", replace=True,
+                                  radius=radius) as phase:
+            strategy = SamplingMaterialization.from_state(
+                compiled, world, marginals, seed=self.seed + 7)
+            if changed:
+                update = strategy.update(changed, radius=radius,
+                                         num_samples=num_samples,
+                                         burn_in=burn_in)
+                marginals = update.marginals
+            else:
+                clamped = compiled.is_evidence
+                marginals[clamped] = compiled.evidence_values[clamped]
+            phase.set(resampled=len(changed))
 
         self._chain_state = {
             "world": {key: bool(strategy.world[i])
@@ -271,7 +304,7 @@ class DeepDive:
             marginals={key: float(marginals[i])
                        for i, key in enumerate(compiled.var_keys)},
             threshold=threshold,
-            phase_timings=dict(self._timings),
+            profile=self._recorder.profile(),
             graph_stats=graph.stats(),
             feature_stats=self.feature_stats(),
         )

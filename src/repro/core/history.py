@@ -21,7 +21,12 @@ from repro.core.result import RunResult
 
 @dataclass(frozen=True)
 class RunSnapshot:
-    """One recorded run."""
+    """One recorded run.
+
+    ``top_spans`` is the profile's per-operator breakdown --
+    ``(name, inclusive_seconds, calls)`` tuples -- so history diffs can
+    show where time moved between iterations, not just that it moved.
+    """
 
     run_index: int
     label: str
@@ -33,6 +38,7 @@ class RunSnapshot:
     marginal_mean: float
     accepted: int
     candidates: int
+    top_spans: tuple = ()
 
 
 @dataclass
@@ -42,11 +48,14 @@ class RunDiff:
     added_features: list[str] = field(default_factory=list)
     removed_features: list[str] = field(default_factory=list)
     weight_shifts: list[tuple[str, float, float]] = field(default_factory=list)
+    phase_shifts: list[tuple[str, float, float]] = field(default_factory=list)
     accepted_before: int = 0
     accepted_after: int = 0
 
     def render(self, top: int = 10) -> str:
         lines = [f"accepted: {self.accepted_before} -> {self.accepted_after}"]
+        for name, before, after in self.phase_shifts[:top]:
+            lines.append(f"  phase {name}: {before:.3f}s -> {after:.3f}s")
         if self.added_features:
             lines.append(f"new features ({len(self.added_features)}): "
                          + ", ".join(sorted(self.added_features)[:top]))
@@ -88,6 +97,7 @@ class RunHistory:
             marginal_mean=(sum(marginals) / len(marginals)) if marginals else 0.0,
             accepted=sum(len(v) for v in result.output.values()),
             candidates=len(result.marginals),
+            top_spans=tuple(result.profile.top_spans(10)),
         )
         self._snapshots.append(snapshot)
         return snapshot
@@ -101,10 +111,16 @@ class RunHistory:
         shifts = [(key, before.weights[key], after.weights[key])
                   for key in before_keys & after_keys
                   if abs(before.weights[key] - after.weights[key]) > 1e-9]
+        phases = [
+            (name, before.phase_timings.get(name, 0.0),
+             after.phase_timings.get(name, 0.0))
+            for name in dict.fromkeys(
+                list(before.phase_timings) + list(after.phase_timings))]
         return RunDiff(
             added_features=sorted(after_keys - before_keys),
             removed_features=sorted(before_keys - after_keys),
             weight_shifts=shifts,
+            phase_shifts=phases,
             accepted_before=before.accepted,
             accepted_after=after.accepted,
         )

@@ -33,6 +33,16 @@ def run_report(app, result: RunResult, relation: str | None = None,
         lines.append(f"  {key:12s} {value}")
     lines.append("")
 
+    top_spans = result.profile.top_spans(10)
+    if top_spans:
+        lines.append("-- profile: top spans by inclusive time " + "-" * 26)
+        for name, seconds, calls in top_spans:
+            lines.append(f"  {seconds:8.3f}s  x{calls:<5d} {name}")
+        counters = result.profile.metrics.get("counters", {})
+        for key, value in sorted(counters.items(), key=lambda kv: -kv[1])[:8]:
+            lines.append(f"  {key} = {value:g}")
+        lines.append("")
+
     lines.append("-- output database " + "-" * 47)
     output = result.output
     names = [relation] if relation else sorted(output)

@@ -1,5 +1,6 @@
 """Run results: marginals, the thresholded output database, calibration data,
-and phase timings (paper Figure 2's per-phase runtimes)."""
+and the run profile (paper Figure 2's per-phase runtimes, generalized to a
+span tree plus engine metrics)."""
 
 from __future__ import annotations
 
@@ -9,6 +10,7 @@ from repro.eval.calibration import (CalibrationPlot, ProbabilityHistogram,
                                     calibration_plot, probability_histogram)
 from repro.eval.error_analysis import FeatureStat
 from repro.inference.learning import LearningDiagnostics
+from repro.obs.profile import Profile
 
 VariableKey = tuple[str, tuple]
 
@@ -20,16 +22,30 @@ class RunResult:
     ``marginals`` maps ``(relation, tuple)`` to the inferred probability;
     ``output`` is the thresholded output database ("DeepDive applies a
     user-chosen threshold, e.g. p > 0.95").
+
+    ``profile`` carries the observability record of the run: top-level
+    phase spans (with full subtrees when the app ran with ``trace=True``)
+    plus the metrics snapshot.  The old ``phase_timings`` dict survives as
+    a read-only property derived from the profile's top-level spans.
     """
 
     marginals: dict[VariableKey, float]
     threshold: float
-    phase_timings: dict[str, float] = field(default_factory=dict)
+    profile: Profile = field(default_factory=Profile)
     holdout_pairs: list[tuple[float, bool]] = field(default_factory=list)
     train_pairs: list[tuple[float, bool]] = field(default_factory=list)
     graph_stats: dict[str, int] = field(default_factory=dict)
     feature_stats: list[FeatureStat] = field(default_factory=list)
     learning: LearningDiagnostics | None = None
+
+    # ------------------------------------------------------------ the profile
+    @property
+    def phase_timings(self) -> dict[str, float]:
+        """Seconds per pipeline phase, derived from the profile's top-level
+        spans.  Deprecated in favour of :attr:`profile`, which additionally
+        holds the span subtrees and engine metrics; kept so run history
+        snapshots and existing callers need no change."""
+        return self.profile.phase_seconds()
 
     # ------------------------------------------------------------- the output
     @property

@@ -7,6 +7,7 @@ from typing import Any, Iterable, Sequence
 from repro.datastore.ivm import ViewSet
 from repro.datastore.relation import Relation
 from repro.datastore.schema import Schema
+from repro.obs.config import EngineConfig
 
 
 class DatabaseError(KeyError):
@@ -19,10 +20,15 @@ class Database:
 
     ``views`` hosts DRed-maintained materialized views (used by incremental
     grounding); plain relations are updated directly via :meth:`insert`.
+
+    ``config`` binds an :class:`EngineConfig` to the database: plan
+    evaluation and view maintenance consult it for backend choice and the
+    columnar dispatch threshold.  ``None`` defers to the process default.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, config: EngineConfig | None = None) -> None:
         self._relations: dict[str, Relation] = {}
+        self.config = config
         self.views = ViewSet(self)
 
     # ------------------------------------------------------------------- DDL
@@ -78,6 +84,7 @@ class Database:
             name: (relation.copy() if name in copy_names else relation)
             for name, relation in self._relations.items()
         }
+        snap.config = self.config
         snap.views = ViewSet(snap)
         return snap
 

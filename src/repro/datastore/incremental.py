@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.datastore import columnar as C
 from repro.datastore import query as Q
 from repro.datastore.ivm import SignedDelta
@@ -36,6 +37,7 @@ from repro.datastore.plan import (Extend, Join, Plan, Project, Rename, Scan,
                                   Select, Union)
 from repro.datastore.relation import Row
 from repro.datastore.schema import Schema
+from repro.obs.config import EngineConfig
 
 
 class IncrementalEvaluator:
@@ -58,14 +60,20 @@ class IncrementalEvaluator:
                  store_cache: dict[int, C.ColumnStore] | None = None) -> None:
         self.plan = plan
         self.schema = plan.schema(db)
-        columnar = _columnar_build(plan, db)
-        self._root = _build(plan, db, columnar,
-                            store_cache if columnar else None)
-        if columnar:
-            self._current: Counter[Row] = Counter(self._root.store.to_counts())
-            self._root.store = None
-        else:
-            self._current = Counter(self._root.output())
+        config = getattr(db, "config", None)
+        columnar = _columnar_build(plan, db, config)
+        with obs.span("dred.build",
+                      backend="columnar" if columnar else "row") as span:
+            self._root = _build(plan, db, columnar,
+                                store_cache if columnar else None,
+                                config=config)
+            if columnar:
+                self._current: Counter[Row] = Counter(
+                    self._root.store.to_counts())
+                self._root.store = None
+            else:
+                self._current = Counter(self._root.output())
+            span.set(rows_out=len(self._current))
 
     def current(self) -> Counter:
         """The plan's current output as a row -> count bag (copy)."""
@@ -85,20 +93,22 @@ class IncrementalEvaluator:
 
 
 # ------------------------------------------------------------ backend choice
-def _columnar_build(plan: Plan, db) -> bool:
+def _columnar_build(plan: Plan, db,
+                    config: EngineConfig | None = None) -> bool:
     """Should the initial load run on the columnar kernels?
 
-    Follows the query-layer policy: forced backends win; in auto mode the
-    columnar path is taken when the base relations are collectively big
-    enough to amortize encoding.  Either way every join in the plan must
-    pass the type guard (code equality == value equality).
+    Follows the query-layer policy: forced backends win, then the owning
+    database's :class:`EngineConfig`; in auto mode the columnar path is
+    taken when the base relations are collectively big enough to amortize
+    encoding.  Either way every join in the plan must pass the type guard
+    (code equality == value equality).
     """
-    backend = Q.current_backend()
+    backend = Q.current_backend(config)
     if backend == "row":
         return False
     if backend != "columnar":
         total = sum(db[name].distinct_count for name in plan.base_relations())
-        if total < Q.COLUMNAR_THRESHOLD:
+        if total < Q.columnar_threshold(config):
             return False
     return _joins_supported(plan, db)
 
@@ -301,10 +311,12 @@ class _JoinNode(_Node):
 
     def __init__(self, plan: Join, db, left: _Node, right: _Node,
                  columnar: bool,
-                 cache: dict[int, C.ColumnStore] | None = None) -> None:
+                 cache: dict[int, C.ColumnStore] | None = None,
+                 config: EngineConfig | None = None) -> None:
         self.left = left
         self.right = right
         self.schema = plan.schema(db)
+        self._threshold = Q.columnar_threshold(config)
         self._on = list(plan.on)
         self._left_positions = [left.schema.position(a) for a, _ in plan.on]
         self._right_positions = [right.schema.position(b) for _, b in plan.on]
@@ -407,7 +419,7 @@ class _JoinNode(_Node):
         index must be flattened back into a store per apply, an O(side) cost
         that is amortized only when the delta is at least side-sized.  Small
         and medium deltas stay on O(|delta|) hash probes."""
-        return (self._kernel_ok and delta_len >= Q.COLUMNAR_THRESHOLD
+        return (self._kernel_ok and delta_len >= self._threshold
                 and delta_len >= side_size)
 
     def apply(self, deltas: dict[str, SignedDelta]) -> SignedDelta:
@@ -416,6 +428,9 @@ class _JoinNode(_Node):
         out = SignedDelta(self.schema)
         if left_delta or right_delta:
             self._ensure_indexes()
+            if obs.enabled():
+                obs.observe("dred.join_delta_rows",
+                            len(left_delta) + len(right_delta))
 
         # d(L >< R) = dL >< R_before  +  L_after >< dR
         if left_delta:
@@ -497,19 +512,22 @@ class _UnionNode(_Node):
 
 
 def _build(plan: Plan, db, columnar: bool,
-           cache: dict[int, C.ColumnStore] | None = None) -> _Node:
+           cache: dict[int, C.ColumnStore] | None = None,
+           config: EngineConfig | None = None) -> _Node:
     if isinstance(plan, Scan):
         return _ScanNode(plan, db, columnar)
     if isinstance(plan, (Select, Project, Rename, Extend)):
-        return _MapNode(plan, db, _build(plan.child, db, columnar, cache),
+        return _MapNode(plan, db,
+                        _build(plan.child, db, columnar, cache, config),
                         columnar, cache)
     if isinstance(plan, Join):
-        return _JoinNode(plan, db, _build(plan.left, db, columnar, cache),
-                         _build(plan.right, db, columnar, cache), columnar,
-                         cache)
+        return _JoinNode(plan, db,
+                         _build(plan.left, db, columnar, cache, config),
+                         _build(plan.right, db, columnar, cache, config),
+                         columnar, cache, config=config)
     if isinstance(plan, Union):
         return _UnionNode(plan, db,
-                          [_build(c, db, columnar, cache)
+                          [_build(c, db, columnar, cache, config)
                            for c in plan.children],
                           columnar, cache)
     raise TypeError(f"cannot incrementally evaluate {type(plan).__name__}")

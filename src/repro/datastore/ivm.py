@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.datastore.relation import Relation, Row
 from repro.datastore.schema import Schema
 
@@ -95,9 +96,11 @@ class MaterializedView:
         self.name = name
         self.plan = plan
         self.schema = plan.schema(db)
-        self._evaluator = IncrementalEvaluator(plan, db,
-                                               store_cache=build_cache)
-        self._derivations: Counter[Row] = self._evaluator.current()
+        with obs.span("dred.materialize", view=name) as sp:
+            self._evaluator = IncrementalEvaluator(plan, db,
+                                                   store_cache=build_cache)
+            self._derivations: Counter[Row] = self._evaluator.current()
+            sp.set(rows=len(self._derivations))
 
     # ------------------------------------------------------------------ reads
     def visible(self) -> Relation:
@@ -128,6 +131,8 @@ class MaterializedView:
         Returns ``(appeared, disappeared)``: rows that transitioned from
         invisible to visible and vice versa.
         """
+        if obs.enabled():
+            obs.observe("dred.delta_rows", len(delta), view=self.name)
         appeared: list[Row] = []
         disappeared: list[Row] = []
         for row, count in delta.items():

@@ -96,7 +96,8 @@ class Select(Plan):
 
     def evaluate(self, db) -> Relation:
         return Q.select(self.child.evaluate(db), self.predicate,
-                        condition=self.condition)
+                        condition=self.condition,
+                        config=getattr(db, "config", None))
 
     def schema(self, db) -> Schema:
         return self.child.schema(db)
@@ -121,7 +122,8 @@ class Project(Plan):
     columns: tuple[str, ...]
 
     def evaluate(self, db) -> Relation:
-        return Q.project(self.child.evaluate(db), self.columns)
+        return Q.project(self.child.evaluate(db), self.columns,
+                         config=getattr(db, "config", None))
 
     def schema(self, db) -> Schema:
         return self.child.schema(db).project(self.columns)
@@ -201,7 +203,8 @@ class Join(Plan):
     on: tuple[tuple[str, str], ...]
 
     def evaluate(self, db) -> Relation:
-        return Q.join(self.left.evaluate(db), self.right.evaluate(db), list(self.on))
+        return Q.join(self.left.evaluate(db), self.right.evaluate(db),
+                      list(self.on), config=getattr(db, "config", None))
 
     def schema(self, db) -> Schema:
         left = self.left.schema(db)
@@ -253,7 +256,7 @@ class Join(Plan):
         Signed counts flow straight through the kernel: the join multiplies
         count vectors, so insertion/deletion signs combine correctly.
         """
-        if min(len(left_rows), len(right_rows)) < Q.COLUMNAR_THRESHOLD:
+        if min(len(left_rows), len(right_rows)) < Q.columnar_threshold():
             return False
         from repro.datastore import columnar as C
         if not C.columnar_supported(left_schema, right_schema, self.on):

@@ -16,44 +16,74 @@ Two execution backends implement every operator:
   kernels over dictionary-encoded numpy columns.
 
 Each public operator dispatches between them: an explicit ``backend=``
-argument wins, then the ``REPRO_DATASTORE_BACKEND`` environment variable /
-:func:`use_backend` override, and in ``auto`` mode the planner picks the
-columnar engine when an input relation reaches :data:`COLUMNAR_THRESHOLD`
-distinct rows, falling back to the row engine for small deltas.  The two
+argument wins, then a :func:`use_backend` override, then the operator's
+``config`` (an :class:`~repro.obs.config.EngineConfig`, normally the owning
+database's), then the process default config; in ``auto`` mode the planner
+picks the columnar engine when an input relation reaches the config's
+``columnar_threshold`` distinct rows, falling back to the row engine for
+small deltas.  The default config is built once at import by
+``EngineConfig.from_env()`` -- this module never touches the environment
+itself, and mutating it afterwards has no effect on dispatch.  The two
 backends are bag-equivalent (see ``tests/property/test_query_backends.py``).
+
+When an enabled :mod:`repro.obs` collector is installed, every dispatch
+records the backend chosen and the input/output cardinalities
+(``datastore.<op>`` counters, ``datastore.rows_in``/``rows_out``
+histograms).
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.datastore.relation import Relation, Row
 from repro.datastore.schema import Column, Schema, SchemaError
 from repro.datastore.types import ColumnType
+from repro.obs.config import VALID_BACKENDS as _VALID_BACKENDS
+from repro.obs.config import EngineConfig
 
 Predicate = Callable[[dict[str, Any]], bool]
 
-#: Inputs with at least this many distinct rows take the columnar path in
-#: ``auto`` mode.  Crossover measured on the spouse workload: below ~tens of
-#: rows, encode/decode overhead beats the vectorization win.
-COLUMNAR_THRESHOLD = int(os.environ.get("REPRO_COLUMNAR_THRESHOLD", "48"))
+#: Process default, frozen at import time; the env fallback is read exactly
+#: once, inside ``EngineConfig.from_env`` (see ``repro/obs/config.py``).
+_default_config: EngineConfig = EngineConfig.from_env()
 
 _forced_backend: str | None = None
-_VALID_BACKENDS = ("auto", "row", "columnar")
 
 
-def current_backend() -> str:
-    """The session's backend mode: ``auto``, ``row``, or ``columnar``."""
+def active_config() -> EngineConfig:
+    """The process-default :class:`EngineConfig` for unconfigured callers."""
+    return _default_config
+
+
+def set_default_config(config: EngineConfig | None) -> None:
+    """Replace the process default (``None`` restores the import-time one)."""
+    global _default_config
+    if config is None:
+        config = EngineConfig.from_env()
+    _default_config = config
+
+
+def current_backend(config: EngineConfig | None = None) -> str:
+    """The effective backend mode: ``auto``, ``row``, or ``columnar``.
+
+    A :func:`use_backend` / :func:`set_backend` override wins; otherwise the
+    mode comes from ``config`` (falling back to the process default).
+    """
     if _forced_backend is not None:
         return _forced_backend
-    mode = os.environ.get("REPRO_DATASTORE_BACKEND", "auto")
-    return mode if mode in _VALID_BACKENDS else "auto"
+    return (config or _default_config).datastore_backend
+
+
+def columnar_threshold(config: EngineConfig | None = None) -> int:
+    """Distinct-row count at which ``auto`` mode goes columnar."""
+    return (config or _default_config).columnar_threshold
 
 
 def set_backend(mode: str | None) -> None:
-    """Force a backend for the whole process (``None`` restores ``auto``)."""
+    """Force a backend for the whole process (``None`` removes the force)."""
     global _forced_backend
     if mode is not None and mode not in _VALID_BACKENDS:
         raise ValueError(f"unknown backend {mode!r}; want one of {_VALID_BACKENDS}")
@@ -71,18 +101,30 @@ def use_backend(mode: str):
         set_backend(previous)
 
 
-def _pick(backend: str | None, *relations: Relation) -> str:
-    mode = backend or current_backend()
+def _pick(backend: str | None, *relations: Relation,
+          config: EngineConfig | None = None) -> str:
+    mode = backend or current_backend(config)
     if mode == "auto":
         largest = max((r.distinct_count for r in relations), default=0)
-        return "columnar" if largest >= COLUMNAR_THRESHOLD else "row"
+        return ("columnar" if largest >= columnar_threshold(config)
+                else "row")
     return mode
+
+
+def _record(op: str, engine: str, inputs: tuple[Relation, ...],
+            result: Relation) -> Relation:
+    """Note one dispatch decision on the active metrics registry."""
+    obs.count(f"datastore.{op}", engine=engine)
+    obs.observe("datastore.rows_in",
+                sum(r.distinct_count for r in inputs), op=op)
+    obs.observe("datastore.rows_out", result.distinct_count, op=op)
+    return result
 
 
 # ============================================================== public ops
 def select(relation: Relation, predicate: Predicate, name: str | None = None,
-           condition: tuple | None = None,
-           backend: str | None = None) -> Relation:
+           condition: tuple | None = None, backend: str | None = None,
+           config: EngineConfig | None = None) -> Relation:
     """Rows of ``relation`` whose dict form satisfies ``predicate``.
 
     ``condition`` optionally carries the predicate in structured form
@@ -90,26 +132,38 @@ def select(relation: Relation, predicate: Predicate, name: str | None = None,
     so the columnar backend can evaluate it as a vectorized mask.
     """
     out_name = name or f"select({relation.name})"
-    if _pick(backend, relation) == "columnar":
+    engine = _pick(backend, relation, config=config)
+    if engine == "columnar":
         from repro.datastore import columnar as C
-        return C.select(relation.columnar(), predicate,
-                        condition).to_relation(out_name)
-    return _select_rows(relation, predicate, out_name)
+        out = C.select(relation.columnar(), predicate,
+                       condition).to_relation(out_name)
+    else:
+        out = _select_rows(relation, predicate, out_name)
+    if obs.enabled():
+        _record("select", engine, (relation,), out)
+    return out
 
 
 def project(relation: Relation, columns: Sequence[str], name: str | None = None,
-            distinct: bool = False, backend: str | None = None) -> Relation:
+            distinct: bool = False, backend: str | None = None,
+            config: EngineConfig | None = None) -> Relation:
     """Project ``relation`` onto ``columns`` (bag semantics unless ``distinct``)."""
     out_name = name or f"project({relation.name})"
-    if _pick(backend, relation) == "columnar":
+    engine = _pick(backend, relation, config=config)
+    if engine == "columnar":
         from repro.datastore import columnar as C
-        return C.project(relation.columnar(), columns,
-                         distinct=distinct).to_relation(out_name)
-    return _project_rows(relation, columns, out_name, distinct)
+        out = C.project(relation.columnar(), columns,
+                        distinct=distinct).to_relation(out_name)
+    else:
+        out = _project_rows(relation, columns, out_name, distinct)
+    if obs.enabled():
+        _record("project", engine, (relation,), out)
+    return out
 
 
 def rename(relation: Relation, mapping: dict[str, str],
-           name: str | None = None, backend: str | None = None) -> Relation:
+           name: str | None = None, backend: str | None = None,
+           config: EngineConfig | None = None) -> Relation:
     """Rename columns of ``relation`` per ``mapping``."""
     out = Relation.from_counts(name or relation.name,
                                relation.schema.rename(mapping),
@@ -119,7 +173,8 @@ def rename(relation: Relation, mapping: dict[str, str],
 
 def extend(relation: Relation, column: str, column_type: str,
            fn: Callable[[dict[str, Any]], Any], name: str | None = None,
-           backend: str | None = None) -> Relation:
+           backend: str | None = None,
+           config: EngineConfig | None = None) -> Relation:
     """Append a computed column ``column`` = ``fn(row_dict)`` to every row."""
     new_schema = Schema(relation.schema.columns
                         + (Column(column, ColumnType(column_type)),))
@@ -130,7 +185,8 @@ def extend(relation: Relation, column: str, column_type: str,
 
 
 def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None = None,
-         name: str | None = None, backend: str | None = None) -> Relation:
+         name: str | None = None, backend: str | None = None,
+         config: EngineConfig | None = None) -> Relation:
     """Equi-join ``left`` and ``right``.
 
     ``on`` is a list of ``(left_column, right_column)`` pairs; if ``None``,
@@ -147,47 +203,68 @@ def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None =
         right.schema.position(column)
     out_name = name or f"join({left.name},{right.name})"
 
-    if _pick(backend, left, right) == "columnar":
+    engine = _pick(backend, left, right, config=config)
+    out = None
+    if engine == "columnar":
         from repro.datastore import columnar as C
         if C.columnar_supported(left.schema, right.schema, on):
-            return C.join(left.columnar(), right.columnar(),
-                          on).to_relation(out_name)
-    return _join_rows(left, right, on, out_name)
+            out = C.join(left.columnar(), right.columnar(),
+                         on).to_relation(out_name)
+        else:
+            engine = "row"
+    if out is None:
+        out = _join_rows(left, right, on, out_name)
+    if obs.enabled():
+        _record("join", engine, (left, right), out)
+    return out
 
 
 def union(left: Relation, right: Relation, name: str | None = None,
-          backend: str | None = None) -> Relation:
+          backend: str | None = None,
+          config: EngineConfig | None = None) -> Relation:
     """Bag union (counts add); schemas must match positionally by type."""
     _require_compatible(left, right)
     out_name = name or f"union({left.name},{right.name})"
-    if _pick(backend, left, right) == "columnar":
+    engine = _pick(backend, left, right, config=config)
+    if engine == "columnar":
         from repro.datastore import columnar as C
-        return C.union(left.columnar(), right.columnar()).to_relation(out_name)
-    out = left.copy(out_name)
-    for row, count in right.counted_rows():
-        out.insert(row, count)
+        out = C.union(left.columnar(), right.columnar()).to_relation(out_name)
+    else:
+        out = left.copy(out_name)
+        for row, count in right.counted_rows():
+            out.insert(row, count)
+    if obs.enabled():
+        _record("union", engine, (left, right), out)
     return out
 
 
 def difference(left: Relation, right: Relation, name: str | None = None,
-               backend: str | None = None) -> Relation:
+               backend: str | None = None,
+               config: EngineConfig | None = None) -> Relation:
     """Bag difference (counts subtract, floored at zero)."""
     _require_compatible(left, right)
     out_name = name or f"diff({left.name},{right.name})"
-    if _pick(backend, left, right) == "columnar":
+    engine = _pick(backend, left, right, config=config)
+    if engine == "columnar":
         from repro.datastore import columnar as C
-        return C.difference(left.columnar(),
-                            right.columnar()).to_relation(out_name)
-    counts = {}
-    for row, count in left.counted_rows():
-        remaining = count - right.count(row)
-        if remaining > 0:
-            counts[row] = remaining
-    return Relation.from_counts(out_name, left.schema, counts, validate=False)
+        out = C.difference(left.columnar(),
+                           right.columnar()).to_relation(out_name)
+    else:
+        counts = {}
+        for row, count in left.counted_rows():
+            remaining = count - right.count(row)
+            if remaining > 0:
+                counts[row] = remaining
+        out = Relation.from_counts(out_name, left.schema, counts,
+                                   validate=False)
+    if obs.enabled():
+        _record("difference", engine, (left, right), out)
+    return out
 
 
 def distinct(relation: Relation, name: str | None = None,
-             backend: str | None = None) -> Relation:
+             backend: str | None = None,
+             config: EngineConfig | None = None) -> Relation:
     """Set-semantics version of ``relation`` (every count becomes 1)."""
     return Relation.from_counts(
         name or f"distinct({relation.name})", relation.schema,
@@ -196,7 +273,8 @@ def distinct(relation: Relation, name: str | None = None,
 
 def aggregate(relation: Relation, group_by: Sequence[str],
               aggregates: dict[str, tuple[str, str]],
-              name: str | None = None, backend: str | None = None) -> Relation:
+              name: str | None = None, backend: str | None = None,
+              config: EngineConfig | None = None) -> Relation:
     """Group-by aggregation.
 
     ``aggregates`` maps output column name to ``(function, input_column)``
@@ -206,11 +284,16 @@ def aggregate(relation: Relation, group_by: Sequence[str],
     """
     schema, agg_specs = _aggregate_schema(relation.schema, group_by, aggregates)
     out_name = name or f"agg({relation.name})"
-    if _pick(backend, relation) == "columnar":
+    engine = _pick(backend, relation, config=config)
+    if engine == "columnar":
         from repro.datastore import columnar as C
-        return C.aggregate(relation.columnar(), group_by, aggregates,
-                           schema).to_relation(out_name)
-    return _aggregate_rows(relation, group_by, agg_specs, schema, out_name)
+        out = C.aggregate(relation.columnar(), group_by, aggregates,
+                          schema).to_relation(out_name)
+    else:
+        out = _aggregate_rows(relation, group_by, agg_specs, schema, out_name)
+    if obs.enabled():
+        _record("aggregate", engine, (relation,), out)
+    return out
 
 
 # ===================================================== row-engine reference

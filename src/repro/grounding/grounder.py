@@ -23,8 +23,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
+from repro import obs
 from repro.datastore import Database
 from repro.datastore.relation import Row
+from repro.obs.config import EngineConfig
 from repro.ddlog.ast import (FixedWeight, HeadConnective, PerRuleWeight, Rule,
                              RuleKind, UdfWeight, Var, VarWeight)
 from repro.ddlog.program import DDlogProgram
@@ -91,10 +93,13 @@ class Grounder:
     rules.  The factor graph is available as :attr:`graph`.
     """
 
-    def __init__(self, program: DDlogProgram, db: Database) -> None:
+    def __init__(self, program: DDlogProgram, db: Database,
+                 config: EngineConfig | None = None) -> None:
         program.validate()
         self.program = program
         self.db = db
+        self.config = config if config is not None \
+            else getattr(db, "config", None)
         self.graph = FactorGraph()
         self.weight_provenance: dict[Hashable, WeightProvenance] = {}
 
@@ -112,8 +117,13 @@ class Grounder:
         self._head_readers: dict[int, list[Callable[[Row], Row]]] = {}
         self._weight_fns: dict[int, Callable[[Row], list[int]]] = {}
 
-        self._define_views()
-        self._initial_load()
+        with obs.span("grounding.define_views") as sp:
+            self._define_views()
+            sp.set(views=len(db.views.names()))
+        with obs.span("grounding.initial_load") as sp:
+            self._initial_load()
+            sp.set(variables=len(self.graph.variables),
+                   factors=len(self.graph.factors))
 
     # ----------------------------------------------------------------- set-up
     def _define_views(self) -> None:
@@ -163,6 +173,15 @@ class Grounder:
                       deletes: dict[str, list[Sequence[Any]]] | None = None,
                       ) -> GroundingDelta:
         """Apply base-relation changes and patch the factor graph via DRed."""
+        with obs.span("grounding.apply_changes") as sp:
+            delta = self._apply_changes(inserts, deletes)
+            sp.set(factors_added=delta.factors_added,
+                   factors_removed=delta.factors_removed,
+                   variables_added=delta.variables_added,
+                   variables_removed=delta.variables_removed)
+        return delta
+
+    def _apply_changes(self, inserts, deletes) -> GroundingDelta:
         events = self.db.views.apply_changes(inserts=inserts, deletes=deletes)
         delta = GroundingDelta()
 
@@ -192,6 +211,9 @@ class Grounder:
                 self._unground_row(index, row, delta)
             for row in appeared:
                 self._ground_row(index, row, delta)
+        if obs.enabled():
+            obs.count("grounding.rounds")
+            obs.count("grounding.touched_keys", len(delta.touched_keys))
         return delta
 
     def variable_marginal_keys(self) -> list[Hashable]:
@@ -303,6 +325,7 @@ class Grounder:
         weight_ids = self._weight_fns[index](row)
         if not weight_ids:
             return
+        vars_before = delta.variables_added
         readers = self._head_readers[index]
         factor_ids: list[int] = []
         if rule.kind == RuleKind.FEATURE:
@@ -331,6 +354,10 @@ class Grounder:
                     function, var_ids, weight_id, negated=negated))
         self._row_factors[(index, row)] = factor_ids
         delta.factors_added += len(factor_ids)
+        if obs.enabled():
+            obs.count("grounding.factors", len(factor_ids), rule=index)
+            obs.count("grounding.variables",
+                      delta.variables_added - vars_before, rule=index)
 
     def _unground_row(self, index: int, row: Row, delta: GroundingDelta) -> None:
         factor_ids = self._row_factors.pop((index, row), None)

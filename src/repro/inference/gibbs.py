@@ -26,13 +26,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.factorgraph.compiled import ColorBlock, CompiledGraph
 from repro.factorgraph.factor_functions import FactorFunction
-
-ENGINES = ("chromatic", "reference")
+from repro.obs.config import VALID_ENGINES as ENGINES
+from repro.obs.config import EngineConfig
 
 
 def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
@@ -87,11 +89,16 @@ class GibbsSampler:
     color blocks, the default) or ``"reference"`` (the scalar per-variable
     loop, kept for equivalence testing).  Both visit dependent variables in
     the same chromatic order and consume the RNG identically, so with equal
-    seeds they produce bit-identical chains.
+    seeds they produce bit-identical chains.  When ``engine`` is ``None``
+    the sampler takes it from ``config`` (an :class:`EngineConfig`), and
+    failing that uses ``"chromatic"``.
     """
 
     def __init__(self, compiled: CompiledGraph, seed: int = 0,
-                 clamp_evidence: bool = True, engine: str = "chromatic") -> None:
+                 clamp_evidence: bool = True, engine: str | None = None,
+                 config: EngineConfig | None = None) -> None:
+        if engine is None:
+            engine = config.gibbs_engine if config is not None else "chromatic"
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.compiled = compiled
@@ -172,6 +179,8 @@ class GibbsSampler:
 
     def sweep_chromatic(self, assignment: np.ndarray) -> int:
         """Vectorized sweep: the unary-only pass plus one pass per color."""
+        if obs.enabled():
+            return self._sweep_chromatic_traced(assignment)
         sampled = self._sweep_independent(assignment)
         if len(self._dependent):
             uniforms = self.rng.random(len(self._dependent))
@@ -183,6 +192,38 @@ class GibbsSampler:
                     uniforms[offset:offset + n] < sigmoid(deltas))
                 offset += n
             sampled += len(self._dependent)
+        return sampled
+
+    def _sweep_chromatic_traced(self, assignment: np.ndarray) -> int:
+        """The chromatic sweep with per-color timing and flip statistics.
+
+        Identical arithmetic and RNG consumption to the fast path; only
+        entered when a collector is installed, so the probe cost never taxes
+        untraced runs.  Records one timing and one flip-fraction observation
+        per color per sweep -- histograms, not spans, because a run makes
+        thousands of color passes.
+        """
+        sampled = self._sweep_independent(assignment)
+        if len(self._dependent):
+            uniforms = self.rng.random(len(self._dependent))
+            offset = 0
+            for color, (block, signed_weights) in enumerate(
+                    zip(self._blocks, self._block_weights)):
+                started = perf_counter()
+                n = len(block.variables)
+                deltas = self._block_deltas(block, signed_weights, assignment)
+                before = assignment[block.variables]
+                sampled_values = uniforms[offset:offset + n] < sigmoid(deltas)
+                flips = int(np.count_nonzero(before != sampled_values))
+                assignment[block.variables] = sampled_values
+                offset += n
+                obs.observe("gibbs.color_sweep_seconds",
+                            perf_counter() - started, color=color)
+                obs.observe("gibbs.flip_fraction", flips / max(n, 1),
+                            color=color)
+            sampled += len(self._dependent)
+        obs.count("gibbs.sweeps")
+        obs.count("gibbs.samples", sampled)
         return sampled
 
     def _block_deltas(self, block: ColorBlock, signed_weights: np.ndarray,
@@ -281,14 +322,18 @@ class GibbsSampler:
         Evidence variables (when clamped) report their label as probability
         0/1, matching DeepDive's output convention.
         """
-        if assignment is None:
-            assignment = self.initial_assignment()
-        for _ in range(burn_in):
-            self.sweep(assignment)
-        totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
-        for _ in range(num_samples):
-            self.sweep(assignment)
-            totals += assignment
-        marginals = totals / max(num_samples, 1)
-        marginals[self.clamped] = self.compiled.evidence_values[self.clamped]
+        with obs.span("inference.marginals", engine=self.engine,
+                      colors=len(self._blocks),
+                      variables=self.compiled.num_variables,
+                      num_samples=num_samples, burn_in=burn_in):
+            if assignment is None:
+                assignment = self.initial_assignment()
+            for _ in range(burn_in):
+                self.sweep(assignment)
+            totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+            for _ in range(num_samples):
+                self.sweep(assignment)
+                totals += assignment
+            marginals = totals / max(num_samples, 1)
+            marginals[self.clamped] = self.compiled.evidence_values[self.clamped]
         return MarginalResult(marginals=marginals, num_samples=num_samples, burn_in=burn_in)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.factorgraph.compiled import CompiledGraph
 from repro.inference.gibbs import ENGINES, GibbsSampler
 
@@ -73,6 +74,15 @@ def learn_weights(compiled: CompiledGraph,
     snapshots for the debugger.
     """
     options = options or LearningOptions()
+    with obs.span("learning.learn_weights", epochs=options.epochs,
+                  optimizer=options.optimizer, engine=options.engine) as sp:
+        diagnostics = _learn_weights(compiled, options)
+        sp.set(final_gradient_norm=diagnostics.final_gradient_norm)
+    return diagnostics
+
+
+def _learn_weights(compiled: CompiledGraph,
+                   options: LearningOptions) -> LearningDiagnostics:
     clamped_chain = GibbsSampler(compiled, seed=options.seed, clamp_evidence=True,
                                  engine=options.engine)
     free_chain = GibbsSampler(compiled, seed=options.seed + 1, clamp_evidence=False,
@@ -106,7 +116,11 @@ def learn_weights(compiled: CompiledGraph,
         free_chain.refresh_weights()
 
         diagnostics.epochs_run = epoch + 1
-        diagnostics.gradient_norms.append(float(np.linalg.norm(gradient)))
+        norm = float(np.linalg.norm(gradient))
+        diagnostics.gradient_norms.append(norm)
+        if obs.enabled():
+            obs.observe("learning.gradient_norm", norm,
+                        optimizer=options.optimizer)
         if epoch % max(1, options.epochs // 10) == 0 or epoch == options.epochs - 1:
             diagnostics.weight_snapshots.append(compiled.weight_values.copy())
     return diagnostics

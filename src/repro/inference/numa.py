@@ -37,8 +37,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.factorgraph.compiled import CompiledGraph
 from repro.inference.gibbs import ENGINES, GibbsSampler
+from repro.obs.config import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,16 @@ class NumaConfig:
             raise ValueError("remote accesses cannot be cheaper than local")
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}")
+
+    @classmethod
+    def from_engine_config(cls, config: EngineConfig,
+                           **overrides) -> "NumaConfig":
+        """Topology seeded from an :class:`EngineConfig` (socket count and
+        sweep engine), with cost-model fields overridable per call."""
+        merged = {"sockets": config.numa_sockets,
+                  "engine": config.gibbs_engine}
+        merged.update(overrides)
+        return cls(**merged)
 
 
 @dataclass
@@ -126,43 +138,51 @@ class NumaGibbs:
         config = self.config
         total_sweeps = burn_in + num_samples
         per_socket_sweep = self._sweep_cost()
-        if config.numa_aware and config.sockets > 1:
-            replicas = [GibbsSampler(self.compiled, seed=self.seed + s,
-                                     engine=config.engine)
-                        for s in range(config.sockets)]
-            worlds = [r.initial_assignment() for r in replicas]
-            totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
-            collected = 0
-            modeled_time = 0.0
-            samples = 0
-            for sweep_index in range(total_sweeps):
-                for replica, world in zip(replicas, worlds):
-                    samples += replica.sweep(world)
-                modeled_time += per_socket_sweep
-                if (sweep_index + 1) % config.sync_every == 0:
-                    modeled_time += self._sync_cost()
-                if sweep_index >= burn_in:
-                    for world in worlds:
+        socket_samples = [0] * config.sockets
+        with obs.span("numa.run", sockets=config.sockets,
+                      numa_aware=config.numa_aware, engine=config.engine,
+                      sync_every=config.sync_every) as sp:
+            if config.numa_aware and config.sockets > 1:
+                replicas = [GibbsSampler(self.compiled, seed=self.seed + s,
+                                         engine=config.engine)
+                            for s in range(config.sockets)]
+                worlds = [r.initial_assignment() for r in replicas]
+                totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+                collected = 0
+                modeled_time = 0.0
+                for sweep_index in range(total_sweeps):
+                    for socket, (replica, world) in enumerate(
+                            zip(replicas, worlds)):
+                        socket_samples[socket] += replica.sweep(world)
+                    modeled_time += per_socket_sweep
+                    if (sweep_index + 1) % config.sync_every == 0:
+                        modeled_time += self._sync_cost()
+                    if sweep_index >= burn_in:
+                        for world in worlds:
+                            totals += world
+                        collected += config.sockets
+                marginals = totals / max(collected, 1)
+                per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
+            else:
+                sampler = GibbsSampler(self.compiled, seed=self.seed,
+                                       engine=config.engine)
+                world = sampler.initial_assignment()
+                totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+                collected = 0
+                modeled_time = 0.0
+                for sweep_index in range(total_sweeps):
+                    socket_samples[0] += sampler.sweep(world)
+                    modeled_time += per_socket_sweep
+                    if sweep_index >= burn_in:
                         totals += world
-                    collected += config.sockets
-            marginals = totals / max(collected, 1)
-            per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
-        else:
-            sampler = GibbsSampler(self.compiled, seed=self.seed,
-                                   engine=config.engine)
-            world = sampler.initial_assignment()
-            totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
-            collected = 0
-            modeled_time = 0.0
-            samples = 0
-            for sweep_index in range(total_sweeps):
-                samples += sampler.sweep(world)
-                modeled_time += per_socket_sweep
-                if sweep_index >= burn_in:
-                    totals += world
-                    collected += 1
-            marginals = totals / max(collected, 1)
-            per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
+                        collected += 1
+                marginals = totals / max(collected, 1)
+                per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
+            samples = sum(socket_samples)
+            sp.set(samples=samples, modeled_time=modeled_time)
+            if obs.enabled():
+                for socket, drawn in enumerate(socket_samples):
+                    obs.count("numa.samples", drawn, socket=socket)
         clamped = self.compiled.is_evidence
         marginals[clamped] = self.compiled.evidence_values[clamped]
         return NumaRunResult(marginals=marginals, modeled_time=modeled_time,

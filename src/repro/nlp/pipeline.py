@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.datastore import Database, Schema
 from repro.nlp.chunker import Chunk, noun_phrases
 from repro.nlp.htmlstrip import strip_html
@@ -68,6 +69,11 @@ def preprocess_document(doc: Document) -> list[Sentence]:
             pos_tags=tuple(tag(texts)),
             offsets=tuple((t.start, t.end) for t in tokens),
         ))
+    if obs.enabled():
+        obs.count("nlp.documents")
+        obs.observe("nlp.sentences_per_doc", len(sentences))
+        obs.observe("nlp.tokens_per_doc",
+                    sum(len(s.tokens) for s in sentences))
     return sentences
 
 

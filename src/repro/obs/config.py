@@ -1,0 +1,119 @@
+"""Typed engine configuration: the one place ``REPRO_*`` env vars are read.
+
+Execution-engine choices used to be steered by environment variables read at
+query time (``datastore/query.py`` consulted ``os.environ`` on every dispatch
+call, while the columnar threshold was frozen at import -- two different
+lifetimes for two halves of one policy).  :class:`EngineConfig` replaces
+those knobs with a frozen dataclass threaded explicitly through
+:class:`~repro.core.app.DeepDive`, :class:`~repro.datastore.database.Database`,
+:class:`~repro.grounding.grounder.Grounder`, and
+:class:`~repro.inference.gibbs.GibbsSampler`.
+
+Environment variables remain only as a documented *fallback*, read exactly
+once at config construction by :meth:`EngineConfig.from_env` -- never at
+query time, and never anywhere outside this module (a hygiene test enforces
+that).  Mutating the environment after construction has no effect.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+VALID_BACKENDS = ("auto", "row", "columnar")
+VALID_ENGINES = ("chromatic", "reference")
+
+#: Environment fallbacks honoured by :meth:`EngineConfig.from_env`.
+ENV_VARS = {
+    "datastore_backend": "REPRO_DATASTORE_BACKEND",
+    "columnar_threshold": "REPRO_COLUMNAR_THRESHOLD",
+    "gibbs_engine": "REPRO_GIBBS_ENGINE",
+    "numa_sockets": "REPRO_NUMA_SOCKETS",
+    "trace": "REPRO_TRACE",
+}
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Frozen per-application execution-engine configuration.
+
+    ``datastore_backend``
+        Relational-operator dispatch mode: ``"auto"`` (size-based planner),
+        ``"row"``, or ``"columnar"``.
+    ``columnar_threshold``
+        In ``auto`` mode, inputs with at least this many distinct rows take
+        the columnar kernels.  Crossover measured on the spouse workload:
+        below ~tens of rows, encode/decode overhead beats vectorization.
+    ``gibbs_engine``
+        Sweep implementation for every sampler the application creates:
+        ``"chromatic"`` (vectorized color blocks) or ``"reference"``
+        (scalar loop, kept for equivalence testing).
+    ``numa_sockets``
+        Socket count for the simulated-NUMA execution layer.
+    ``trace``
+        When true, :class:`~repro.core.app.DeepDive` installs a span
+        collector around every phase so :attr:`RunResult.profile` carries
+        the full span tree and metrics, not just top-level phase spans.
+    """
+
+    datastore_backend: str = "auto"
+    columnar_threshold: int = 48
+    gibbs_engine: str = "chromatic"
+    numa_sockets: int = 4
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.datastore_backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"unknown datastore backend {self.datastore_backend!r}; "
+                f"want one of {VALID_BACKENDS}")
+        if self.gibbs_engine not in VALID_ENGINES:
+            raise ValueError(f"unknown gibbs engine {self.gibbs_engine!r}; "
+                             f"want one of {VALID_ENGINES}")
+        if self.columnar_threshold < 0:
+            raise ValueError("columnar_threshold cannot be negative")
+        if self.numa_sockets < 1:
+            raise ValueError("need at least one NUMA socket")
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "EngineConfig":
+        """Build a config from the environment, read once, leniently.
+
+        Unset or malformed variables silently fall back to the field
+        defaults (matching the historical behaviour of the env knobs).
+        This classmethod is the *only* code in the repository that reads
+        ``REPRO_*`` environment variables.
+        """
+        env = os.environ if environ is None else environ
+        defaults = cls()
+
+        backend = env.get(ENV_VARS["datastore_backend"],
+                          defaults.datastore_backend)
+        if backend not in VALID_BACKENDS:
+            backend = defaults.datastore_backend
+        engine = env.get(ENV_VARS["gibbs_engine"], defaults.gibbs_engine)
+        if engine not in VALID_ENGINES:
+            engine = defaults.gibbs_engine
+        try:
+            threshold = int(env.get(ENV_VARS["columnar_threshold"], ""))
+            if threshold < 0:
+                raise ValueError
+        except ValueError:
+            threshold = defaults.columnar_threshold
+        try:
+            sockets = int(env.get(ENV_VARS["numa_sockets"], ""))
+            if sockets < 1:
+                raise ValueError
+        except ValueError:
+            sockets = defaults.numa_sockets
+        trace = env.get(ENV_VARS["trace"], "").strip().lower() in _TRUTHY
+
+        return cls(datastore_backend=backend, columnar_threshold=threshold,
+                   gibbs_engine=engine, numa_sockets=sockets, trace=trace)
+
+    def with_options(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (the config itself is frozen)."""
+        return replace(self, **changes)

@@ -1,0 +1,144 @@
+"""Process-local metrics: counters, gauges, and summary histograms.
+
+The registry is deliberately tiny and dependency-free.  Metric identity is
+``name`` plus an optional label set (``registry.count("dred.delta_rows",
+3, view="rule::0")``); labelled series render as ``name{key=value,...}``.
+Registries are mergeable -- per-replica registries from the simulated-NUMA
+layer fold into one, with counters and histogram summaries summing exactly
+(the property suite asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MetricKey = str
+
+
+def metric_key(name: str, labels: dict) -> MetricKey:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramSummary") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "total": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """A process-local bag of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[MetricKey, float] = {}
+        self.gauges: dict[MetricKey, float] = {}
+        self.histograms: dict[MetricKey, HistogramSummary] = {}
+
+    # --------------------------------------------------------------- recording
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        """Increment counter ``name`` by ``value`` (monotonic by convention)."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        key = metric_key(name, labels)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = HistogramSummary()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------ reads
+    def counter_value(self, name: str, **labels) -> float:
+        return self.counters.get(metric_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all of its label sets."""
+        prefix = name + "{"
+        return sum(v for k, v in self.counters.items()
+                   if k == name or k.startswith(prefix))
+
+    def histogram(self, name: str, **labels) -> HistogramSummary:
+        return self.histograms.get(metric_key(name, labels),
+                                   HistogramSummary())
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (what :class:`~repro.obs.profile.Profile` holds)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {key: h.to_dict()
+                           for key, h in self.histograms.items()},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place; returns self.
+
+        Counters add, histogram summaries combine exactly, gauges take the
+        other registry's value (last write wins) -- so merging per-replica
+        registries yields the same counters/histograms as recording
+        everything into one registry, in any merge order.
+        """
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(other.gauges)
+        for key, histogram in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                mine = self.histograms[key] = HistogramSummary()
+            mine.merge(histogram)
+        return self
+
+    def render(self, top: int = 20) -> str:
+        """Human-readable dump of the largest series."""
+        lines = []
+        counters = sorted(self.counters.items(), key=lambda kv: -kv[1])[:top]
+        for key, value in counters:
+            lines.append(f"  counter   {key} = {value:g}")
+        for key, value in sorted(self.gauges.items())[:top]:
+            lines.append(f"  gauge     {key} = {value:g}")
+        histograms = sorted(self.histograms.items(),
+                            key=lambda kv: -kv[1].count)[:top]
+        for key, h in histograms:
+            lines.append(f"  histogram {key}: n={h.count} mean={h.mean:g} "
+                         f"min={h.min:g} max={h.max:g}")
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)

@@ -1,0 +1,57 @@
+"""Pluggable span sinks: where completed traces go.
+
+A sink is anything with ``on_span(span)``; collectors call it once per
+completed *root* span, so sinks always receive whole trees.  Three
+implementations cover the common cases:
+
+* :class:`InMemorySink` -- keep spans on a list (tests, ad-hoc inspection);
+* :class:`JsonlSink` -- one JSON object per root span, append-only, the
+  archival format CI uploads as a benchmark artifact;
+* :class:`TreePrinterSink` -- human-readable span tree to a stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.obs.span import Span
+
+
+class InMemorySink:
+    """Collect root spans on a list."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class JsonlSink:
+    """Append every root span as one JSON line to ``path``.
+
+    Attribute values that are not JSON-serializable are stringified rather
+    than dropped, so traces survive arbitrary span attributes.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def on_span(self, span: Span) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            json.dump(span.to_dict(), handle, default=str)
+            handle.write("\n")
+
+
+class TreePrinterSink:
+    """Print completed span trees to a stream (default stderr)."""
+
+    def __init__(self, stream: IO[str] | None = None,
+                 max_depth: int | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.max_depth = max_depth
+
+    def on_span(self, span: Span) -> None:
+        print(span.render(max_depth=self.max_depth), file=self.stream)

@@ -1,0 +1,126 @@
+"""EngineConfig: validation, env fallback parsing, and immutability."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.datastore import query as Q
+from repro.obs import ENV_VARS, VALID_BACKENDS, VALID_ENGINES, EngineConfig
+
+
+class TestDefaults:
+    def test_default_fields(self):
+        config = EngineConfig()
+        assert config.datastore_backend == "auto"
+        assert config.columnar_threshold == 48
+        assert config.gibbs_engine == "chromatic"
+        assert config.numa_sockets == 4
+        assert config.trace is False
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.datastore_backend = "row"
+
+    def test_with_options(self):
+        config = EngineConfig().with_options(datastore_backend="columnar",
+                                             trace=True)
+        assert config.datastore_backend == "columnar"
+        assert config.trace is True
+        # the original is untouched
+        assert EngineConfig().datastore_backend == "auto"
+
+
+class TestValidation:
+    def test_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            EngineConfig(datastore_backend="gpu")
+
+    def test_bad_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            EngineConfig(gibbs_engine="metropolis")
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            EngineConfig(columnar_threshold=-1)
+
+    def test_zero_sockets(self):
+        with pytest.raises(ValueError):
+            EngineConfig(numa_sockets=0)
+
+    def test_valid_constants(self):
+        assert set(VALID_BACKENDS) == {"auto", "row", "columnar"}
+        assert set(VALID_ENGINES) == {"chromatic", "reference"}
+
+
+class TestFromEnv:
+    def test_empty_environ_gives_defaults(self):
+        assert EngineConfig.from_env({}) == EngineConfig()
+
+    def test_all_vars_honoured(self):
+        env = {
+            ENV_VARS["datastore_backend"]: "columnar",
+            ENV_VARS["columnar_threshold"]: "7",
+            ENV_VARS["gibbs_engine"]: "reference",
+            ENV_VARS["numa_sockets"]: "2",
+            ENV_VARS["trace"]: "1",
+        }
+        config = EngineConfig.from_env(env)
+        assert config == EngineConfig(datastore_backend="columnar",
+                                      columnar_threshold=7,
+                                      gibbs_engine="reference",
+                                      numa_sockets=2, trace=True)
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
+    def test_trace_truthy(self, value):
+        assert EngineConfig.from_env({ENV_VARS["trace"]: value}).trace
+
+    @pytest.mark.parametrize("value", ["0", "false", "", "off", "maybe"])
+    def test_trace_falsy(self, value):
+        assert not EngineConfig.from_env({ENV_VARS["trace"]: value}).trace
+
+    def test_malformed_values_fall_back(self):
+        env = {
+            ENV_VARS["datastore_backend"]: "quantum",
+            ENV_VARS["columnar_threshold"]: "not-a-number",
+            ENV_VARS["gibbs_engine"]: "",
+            ENV_VARS["numa_sockets"]: "-3",
+        }
+        assert EngineConfig.from_env(env) == EngineConfig()
+
+
+class TestDispatchIsolation:
+    """Satellite 3: backend dispatch never consults the environment."""
+
+    def test_env_mutation_after_construction_has_no_effect(self, monkeypatch):
+        config = EngineConfig(datastore_backend="row", columnar_threshold=5)
+        monkeypatch.setitem(os.environ,
+                            ENV_VARS["datastore_backend"], "columnar")
+        monkeypatch.setitem(os.environ,
+                            ENV_VARS["columnar_threshold"], "9999")
+        assert Q.current_backend(config) == "row"
+        assert Q.columnar_threshold(config) == 5
+
+    def test_process_default_frozen_at_import(self, monkeypatch):
+        before = Q.current_backend()
+        monkeypatch.setitem(os.environ,
+                            ENV_VARS["datastore_backend"], "columnar")
+        monkeypatch.setitem(os.environ, ENV_VARS["trace"], "1")
+        assert Q.current_backend() == before
+        assert Q.active_config().trace is False
+
+    def test_set_default_config_roundtrip(self):
+        original = Q.active_config()
+        try:
+            Q.set_default_config(EngineConfig(datastore_backend="columnar"))
+            assert Q.current_backend() == "columnar"
+        finally:
+            Q.set_default_config(original)
+        assert Q.active_config() == original
+
+    def test_forced_backend_beats_config(self):
+        config = EngineConfig(datastore_backend="row")
+        with Q.use_backend("columnar"):
+            assert Q.current_backend(config) == "columnar"
+        assert Q.current_backend(config) == "row"

@@ -1,0 +1,42 @@
+"""Hygiene: only ``repro/obs/config.py`` may read the environment.
+
+The EngineConfig redesign moved every ``REPRO_*`` env-var read into
+``EngineConfig.from_env``; this test (mirrored by a CI grep step) keeps the
+rest of the source tree environment-free so configuration stays explicit.
+"""
+
+import pathlib
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+ALLOWED = {SRC_ROOT / "obs" / "config.py"}
+FORBIDDEN = ("os.environ", "os.getenv", "getenv(")
+
+
+def test_only_obs_config_reads_environment():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        text = path.read_text(encoding="utf-8")
+        for needle in FORBIDDEN:
+            if needle in text:
+                offenders.append(f"{path.relative_to(SRC_ROOT)}: {needle}")
+    assert not offenders, (
+        "environment reads outside repro/obs/config.py:\n  "
+        + "\n  ".join(offenders))
+
+
+def test_no_repro_env_var_literals_outside_obs():
+    """Env-var names may only appear in the obs package (the config module
+    and the package docstring that documents it)."""
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.is_relative_to(SRC_ROOT / "obs"):
+            continue
+        if "REPRO_" in path.read_text(encoding="utf-8"):
+            offenders.append(str(path.relative_to(SRC_ROOT)))
+    assert not offenders, (
+        "REPRO_* env-var literals outside repro/obs/: "
+        + ", ".join(offenders))

@@ -1,0 +1,120 @@
+"""MetricsRegistry: keys, recording semantics, snapshots, and merging."""
+
+from repro.obs import HistogramSummary, MetricsRegistry, metric_key
+
+
+class TestMetricKey:
+    def test_unlabelled(self):
+        assert metric_key("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        assert metric_key("op", {"b": 2, "a": 1}) == "op{a=1,b=2}"
+
+    def test_distinct_label_sets_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.count("op", 1, engine="row")
+        registry.count("op", 1, engine="columnar")
+        assert registry.counter_value("op", engine="row") == 1
+        assert registry.counter_value("op", engine="columnar") == 1
+        assert registry.counter_total("op") == 2
+
+
+class TestRecording:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("n")
+        registry.count("n", 4)
+        assert registry.counter_value("n") == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 3)
+        registry.gauge("depth", 7)
+        assert registry.gauges["depth"] == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("lat", value)
+        h = registry.histogram("lat")
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_missing_histogram_is_empty(self):
+        h = MetricsRegistry().histogram("absent")
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_bool(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.count("x")
+        assert registry
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.count("c", 2, k="v")
+        registry.gauge("g", 1.5)
+        registry.observe("h", 4.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{k=v}": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        # snapshot is detached from the registry
+        registry.count("c", 1, k="v")
+        assert snap["counters"] == {"c{k=v}": 2}
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("n", 2)
+        b.count("n", 3)
+        b.count("only_b", 1)
+        a.merge(b)
+        assert a.counter_value("n") == 5
+        assert a.counter_value("only_b") == 1
+
+    def test_histograms_combine_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 1.0)
+        a.observe("lat", 5.0)
+        b.observe("lat", 3.0)
+        a.merge(b)
+        h = a.histogram("lat")
+        assert (h.count, h.total, h.min, h.max) == (3, 9.0, 1.0, 5.0)
+
+    def test_gauges_take_other(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", 1)
+        b.gauge("g", 9)
+        a.merge(b)
+        assert a.gauges["g"] == 9
+
+    def test_merge_returns_self(self):
+        a = MetricsRegistry()
+        assert a.merge(MetricsRegistry()) is a
+
+    def test_render_contains_series(self):
+        registry = MetricsRegistry()
+        registry.count("ops", 4, engine="row")
+        registry.observe("lat", 2.0)
+        text = registry.render()
+        assert "ops{engine=row}" in text
+        assert "lat" in text
+
+
+class TestHistogramSummary:
+    def test_empty_to_dict(self):
+        assert HistogramSummary().to_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_merge_with_empty(self):
+        h = HistogramSummary()
+        h.observe(2.0)
+        h.merge(HistogramSummary())
+        assert h.count == 1
+        assert h.min == 2.0

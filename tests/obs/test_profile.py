@@ -1,0 +1,156 @@
+"""Profile and PhaseRecorder: the RunResult-facing side of observability."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import PhaseRecorder, Profile
+from repro.obs.span import Span
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def make_span(name, duration, children=()):
+    return Span(name, duration=duration, children=list(children))
+
+
+class TestProfile:
+    def test_phase_seconds_sums_by_name(self):
+        profile = Profile(spans=[make_span("a", 1.0), make_span("b", 2.0),
+                                 make_span("a", 0.5)])
+        assert profile.phase_seconds() == {"a": 1.5, "b": 2.0}
+
+    def test_top_spans_aggregates_forest(self):
+        profile = Profile(spans=[
+            make_span("phase", 3.0, [make_span("op", 1.0),
+                                     make_span("op", 1.5)]),
+        ])
+        top = profile.top_spans(2)
+        assert top[0] == ("phase", 3.0, 1)
+        assert top[1] == ("op", 2.5, 2)
+
+    def test_top_spans_respects_n(self):
+        profile = Profile(spans=[make_span(f"s{i}", float(i))
+                                 for i in range(5)])
+        assert len(profile.top_spans(3)) == 3
+
+    def test_find(self):
+        profile = Profile(spans=[make_span("a", 1.0, [make_span("b", 0.5)])])
+        assert profile.find("b").name == "b"
+        assert profile.find("zzz") is None
+
+    def test_render_includes_metrics(self):
+        profile = Profile(
+            spans=[make_span("a", 0.001)],
+            metrics={"counters": {"ops": 3},
+                     "histograms": {"lat": {"count": 2, "mean": 1.0,
+                                            "max": 2.0}}})
+        text = profile.render()
+        assert "a" in text and "ops = 3" in text and "lat:" in text
+
+    def test_write_jsonl(self, tmp_path):
+        profile = Profile(spans=[make_span("a", 1.0), make_span("b", 2.0)],
+                          metrics={"counters": {"n": 1}})
+        path = tmp_path / "trace.jsonl"
+        profile.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["name"] == "a"
+        assert lines[1]["name"] == "b"
+        assert lines[2] == {"metrics": {"counters": {"n": 1}}}
+
+    def test_to_dict(self):
+        profile = Profile(spans=[make_span("a", 1.0)], metrics={})
+        as_dict = profile.to_dict()
+        assert as_dict["spans"][0]["name"] == "a"
+
+
+class TestPhaseRecorderUntraced:
+    def test_phases_become_top_level_spans(self):
+        recorder = PhaseRecorder(trace=False)
+        with recorder.phase("one"):
+            pass
+        with recorder.phase("two"):
+            pass
+        profile = recorder.profile()
+        assert [s.name for s in profile.spans] == ["one", "two"]
+        assert all(s.duration >= 0.0 for s in profile.spans)
+
+    def test_no_collector_installed_untraced(self):
+        recorder = PhaseRecorder(trace=False)
+        with recorder.phase("one"):
+            assert obs.active() is None
+
+    def test_accumulating_phase_keeps_every_span(self):
+        recorder = PhaseRecorder(trace=False)
+        with recorder.phase("candidate_generation"):
+            pass
+        with recorder.phase("candidate_generation"):
+            pass
+        profile = recorder.profile()
+        assert len(profile.spans) == 2
+        assert set(profile.phase_seconds()) == {"candidate_generation"}
+
+    def test_replace_phase_overwrites(self):
+        recorder = PhaseRecorder(trace=False)
+        with recorder.phase("inference", replace=True):
+            pass
+        with recorder.phase("inference", replace=True):
+            pass
+        assert len(recorder.profile().spans) == 1
+
+    def test_phase_attributes(self):
+        recorder = PhaseRecorder(trace=False)
+        with recorder.phase("p", engine="chromatic") as phase:
+            phase.set(rows=3)
+        (span,) = recorder.profile().spans
+        assert span.attributes == {"engine": "chromatic", "rows": 3}
+
+
+class TestPhaseRecorderTraced:
+    def test_inner_spans_nest_under_phase(self):
+        recorder = PhaseRecorder(trace=True)
+        with recorder.phase("grounding"):
+            assert obs.enabled()
+            with obs.span("dred.build"):
+                pass
+        (phase,) = recorder.profile().spans
+        assert [c.name for c in phase.children] == ["dred.build"]
+
+    def test_metrics_accumulate_across_phases(self):
+        recorder = PhaseRecorder(trace=True)
+        with recorder.phase("a"):
+            obs.count("ops", 2)
+        with recorder.phase("b"):
+            obs.count("ops", 3)
+        snapshot = recorder.profile().metrics
+        assert snapshot["counters"]["ops"] == 5
+
+    def test_collector_uninstalled_after_phase(self):
+        recorder = PhaseRecorder(trace=True)
+        with recorder.phase("a"):
+            pass
+        assert obs.active() is None
+
+    def test_respects_existing_collector(self):
+        """A recorder never stomps a collector someone else installed."""
+        outer = obs.Collector()
+        recorder = PhaseRecorder(trace=True)
+        with obs.installed(outer):
+            with recorder.phase("a"):
+                assert obs.active() is outer
+
+    def test_profile_snapshot_is_stable(self):
+        recorder = PhaseRecorder(trace=True)
+        with recorder.phase("a"):
+            pass
+        first = recorder.profile()
+        with recorder.phase("b"):
+            pass
+        assert [s.name for s in first.spans] == ["a"]

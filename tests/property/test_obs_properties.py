@@ -1,0 +1,220 @@
+"""Observability invariants: span trees always nest correctly for any
+interleaving of operations, and metrics merged from per-replica registries
+equal the metrics of a single shared registry — the property the NUMA
+engine's per-socket collection relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import Collector, MetricsRegistry
+
+names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+# ---------------------------------------------------------------------------
+# span nesting
+# ---------------------------------------------------------------------------
+
+@st.composite
+def span_trees(draw, depth=0):
+    """A random forest shape: each node is (name, [children])."""
+    max_children = 3 if depth < 3 else 0
+    children = draw(st.lists(span_trees(depth=depth + 1),
+                             max_size=max_children))
+    return draw(names), children
+
+
+def open_tree(shape):
+    name, children = shape
+    with obs.span(name) as sp:
+        sp.set(shape_children=len(children))
+        for child in children:
+            open_tree(child)
+
+
+def tree_names(shape):
+    name, children = shape
+    return (name, [tree_names(c) for c in children])
+
+
+def span_names(span):
+    return (span.name, [span_names(c) for c in span.children])
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest=st.lists(span_trees(), min_size=1, max_size=4))
+def test_span_forest_mirrors_execution_shape(forest):
+    """For ANY nesting pattern, collected roots mirror the call structure."""
+    obs.uninstall()
+    collector = Collector()
+    with obs.installed(collector):
+        for shape in forest:
+            open_tree(shape)
+    assert [span_names(root) for root in collector.roots] == \
+        [tree_names(shape) for shape in forest]
+    # the stack fully unwound: nothing left open
+    assert collector._stack == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest=st.lists(span_trees(), min_size=1, max_size=4))
+def test_span_durations_contain_children(forest):
+    """A parent's inclusive time always covers its children; exclusive time
+    is never negative."""
+    obs.uninstall()
+    collector = Collector()
+    with obs.installed(collector):
+        for shape in forest:
+            open_tree(shape)
+    for root in collector.roots:
+        for span in root.walk():
+            child_total = sum(c.duration for c in span.children)
+            assert span.duration >= child_total - 1e-9
+            assert span.exclusive >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(forest=st.lists(span_trees(), min_size=1, max_size=3),
+       fail_at=st.integers(min_value=0, max_value=20))
+def test_spans_close_even_when_work_raises(forest, fail_at):
+    """An exception anywhere in the tree still closes every opened span."""
+    obs.uninstall()
+    counter = {"n": 0}
+
+    class Boom(Exception):
+        pass
+
+    def open_tree_failing(shape):
+        name, children = shape
+        with obs.span(name):
+            if counter["n"] == fail_at:
+                counter["n"] += 1
+                raise Boom()
+            counter["n"] += 1
+            for child in children:
+                open_tree_failing(child)
+
+    collector = Collector()
+    with obs.installed(collector):
+        for shape in forest:
+            try:
+                open_tree_failing(shape)
+            except Boom:
+                pass
+    assert collector._stack == []
+    for root in collector.roots:
+        for span in root.walk():
+            assert span.duration >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# metrics merging across replicas
+# ---------------------------------------------------------------------------
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("count"), names,
+                  st.integers(min_value=0, max_value=10)),
+        st.tuples(st.just("observe"), names,
+                  st.floats(min_value=-100, max_value=100,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    max_size=30)
+
+
+def replay(registry, stream, label=None):
+    for kind, name, value in stream:
+        labels = {} if label is None else {"socket": label}
+        if kind == "count":
+            registry.count(name, value, **labels)
+        else:
+            registry.observe(name, value, **labels)
+
+
+@settings(max_examples=80, deadline=None)
+@given(streams=st.lists(events, min_size=1, max_size=5))
+def test_merged_replicas_equal_single_registry(streams):
+    """Recording N per-replica streams then merging gives exactly the same
+    counters and histograms as recording everything into one registry,
+    regardless of how events are split across replicas."""
+    replicas = []
+    for stream in streams:
+        registry = MetricsRegistry()
+        replay(registry, stream)
+        replicas.append(registry)
+    merged = MetricsRegistry()
+    for registry in replicas:
+        merged.merge(registry)
+
+    single = MetricsRegistry()
+    for stream in streams:
+        replay(single, stream)
+
+    assert merged.counters == single.counters
+    assert set(merged.histograms) == set(single.histograms)
+    for key, hist in merged.histograms.items():
+        other = single.histograms[key]
+        assert hist.count == other.count
+        assert hist.total == pytest.approx(other.total)
+        assert hist.min == other.min
+        assert hist.max == other.max
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams=st.lists(events, min_size=2, max_size=4),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_merge_is_order_independent(streams, seed):
+    """Merging replica registries in any order yields identical snapshots."""
+    import random
+
+    replicas = []
+    for stream in streams:
+        registry = MetricsRegistry()
+        replay(registry, stream)
+        replicas.append(registry)
+
+    forward = MetricsRegistry()
+    for registry in replicas:
+        forward.merge(registry)
+
+    shuffled_order = list(replicas)
+    random.Random(seed).shuffle(shuffled_order)
+    shuffled = MetricsRegistry()
+    for registry in shuffled_order:
+        shuffled.merge(registry)
+
+    fwd, shf = forward.snapshot(), shuffled.snapshot()
+    assert fwd["counters"] == shf["counters"]
+    assert set(fwd["histograms"]) == set(shf["histograms"])
+    for key in fwd["histograms"]:
+        a, b = fwd["histograms"][key], shf["histograms"][key]
+        assert a["count"] == b["count"]
+        assert a["total"] == pytest.approx(b["total"])
+        assert a["min"] == b["min"] and a["max"] == b["max"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams=st.lists(events, min_size=1, max_size=4))
+def test_labelled_replica_series_stay_distinct(streams):
+    """Per-socket labels keep replica series separate while the unlabelled
+    total still sums across them — the NUMA reporting contract."""
+    merged = MetricsRegistry()
+    expected_totals = {}
+    for socket, stream in enumerate(streams):
+        registry = MetricsRegistry()
+        replay(registry, stream, label=socket)
+        merged.merge(registry)
+        for kind, name, value in stream:
+            if kind == "count":
+                expected_totals[name] = expected_totals.get(name, 0) + value
+    for name, total in expected_totals.items():
+        assert merged.counter_total(name) == total
