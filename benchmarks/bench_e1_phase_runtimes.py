@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import RESULTS_DIR, once
+from conftest import RESULTS_DIR, once, write_json
 
 from repro.apps import spouse
 from repro.corpus import spouse as spouse_corpus
@@ -108,6 +108,14 @@ def test_e1_phase_breakdown(benchmark, reporter):
     reporter.line(f"grounding engine at {sizes[-1] * 2} docs: "
                   f"row {row_ms:.1f}ms, columnar {col_ms:.1f}ms "
                   f"({speedup:.2f}x)")
+    write_json("BENCH_e1_columnar_gain", {
+        "experiment": "e1_phase_runtimes",
+        "docs": sizes[-1] * 2,
+        "row_grounding_seconds": backends["row"],
+        "columnar_grounding_seconds": backends["columnar"],
+        "speedup": speedup,
+        "floor": 3.0,
+    })
 
     top = profile.top_spans(10)
     reporter.line()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from conftest import RESULTS_DIR, once
+from conftest import RESULTS_DIR, once, write_json
 
 from repro import obs
 from repro.baselines import VertexProgrammingGibbs
@@ -120,6 +120,13 @@ def test_e3_chromatic_vs_reference_report(benchmark, reporter):
          ["scalar reference", f"{reference_rate:,.0f}", "1.00x"]])
     reporter.line()
     reporter.line(f"measured speedup: {speedup:.2f}x (acceptance floor: 3x)")
+    write_json("BENCH_e3_chromatic_gain", {
+        "experiment": "e3_dimmwitted_vs_graphlab",
+        "chromatic_samples_per_second": chromatic_rate,
+        "reference_samples_per_second": reference_rate,
+        "speedup": speedup,
+        "floor": 3.0,
+    })
 
     top = profile.top_spans(10)
     reporter.line()

@@ -7,11 +7,24 @@ can reference stable outputs.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable result to ``results/<name>.json``.
+
+    Benchmarks emit these alongside their text reports so CI can validate
+    measured gains (speedups, rates) without parsing the human tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 class Reporter:

@@ -32,7 +32,7 @@ from repro.eval.error_analysis import (ErrorAnalysisReport, FeatureStat,
 from repro.factorgraph import CompiledGraph, FactorFunction
 from repro.grounding import Grounder, GroundingDelta
 from repro.inference import GibbsSampler, LearningOptions, learn_weights
-from repro.nlp.pipeline import Document, preprocess_document, sentence_row
+from repro.nlp.pipeline import Document, preprocess_corpus, sentence_row
 from repro.obs import EngineConfig, PhaseRecorder
 
 
@@ -112,10 +112,12 @@ class DeepDive:
         """
         with self._recorder.phase("candidate_generation") as phase:
             documents = list(documents)
-            with obs.span("nlp.preprocess", documents=len(documents)):
-                sentences = []
-                for doc in documents:
-                    sentences.extend(preprocess_document(doc))
+            with obs.span("nlp.preprocess", documents=len(documents),
+                          workers=self.config.workers):
+                per_doc = preprocess_corpus(
+                    documents, workers=self.config.workers,
+                    parallel_mode=self.config.parallel_mode)
+                sentences = [s for group in per_doc for s in group]
             with obs.span("extractors.run",
                           extractors=len(self._extractors)) as sp:
                 candidate_rows = run_extractors(self._extractors, sentences)

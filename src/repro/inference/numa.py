@@ -40,7 +40,8 @@ import numpy as np
 from repro import obs
 from repro.factorgraph.compiled import CompiledGraph
 from repro.inference.gibbs import ENGINES, GibbsSampler
-from repro.obs.config import EngineConfig
+from repro.obs.config import VALID_PARALLEL_MODES, EngineConfig
+from repro.parallel.replicas import ReplicaOutcome, run_replicas_parallel
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,14 @@ class NumaConfig:
     ``engine`` is forwarded to every replica's :class:`GibbsSampler`, so the
     simulated cost model sits atop the real chromatic vectorized sweeps by
     default (``"reference"`` selects the scalar engine for comparisons).
+
+    ``workers`` turns the replica loop into *real* parallelism: with
+    ``workers > 0`` (and more than one NUMA-aware socket) each replica
+    chain runs in its own worker process against a shared-memory copy of
+    the compiled graph (:mod:`repro.parallel`), producing bit-identical
+    totals to the sequential loop.  ``workers=0`` keeps the sequential
+    reference path.  ``parallel_mode`` and ``parallel_timeout`` tune the
+    pool's start method and crash/stall deadline.
     """
 
     sockets: int = 4
@@ -58,6 +67,9 @@ class NumaConfig:
     sync_every: int = 1          # sweeps between model-averaging rounds
     numa_aware: bool = True
     engine: str = "chromatic"
+    workers: int = 0
+    parallel_mode: str = "auto"
+    parallel_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
@@ -66,14 +78,23 @@ class NumaConfig:
             raise ValueError("remote accesses cannot be cheaper than local")
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.workers < 0:
+            raise ValueError("workers cannot be negative (0 = sequential)")
+        if self.parallel_mode not in VALID_PARALLEL_MODES:
+            raise ValueError(f"unknown parallel mode {self.parallel_mode!r}")
+        if self.parallel_timeout <= 0:
+            raise ValueError("parallel_timeout must be positive")
 
     @classmethod
     def from_engine_config(cls, config: EngineConfig,
                            **overrides) -> "NumaConfig":
-        """Topology seeded from an :class:`EngineConfig` (socket count and
-        sweep engine), with cost-model fields overridable per call."""
+        """Topology seeded from an :class:`EngineConfig` (socket count,
+        sweep engine, and worker pool), with cost-model fields overridable
+        per call."""
         merged = {"sockets": config.numa_sockets,
-                  "engine": config.gibbs_engine}
+                  "engine": config.gibbs_engine,
+                  "workers": config.workers,
+                  "parallel_mode": config.parallel_mode}
         merged.update(overrides)
         return cls(**merged)
 
@@ -127,40 +148,73 @@ class NumaGibbs:
         return self.compiled.num_weights * (self.config.sockets - 1) \
             * self.config.remote_penalty
 
+    def _modeled_run_time(self, total_sweeps: int) -> float:
+        """Modeled wall clock of ``total_sweeps`` parallel sweeps plus sync.
+
+        Accumulated in the exact order the historical sequential loop added
+        the terms, so the parallel execution path reports bit-identical
+        modeled times to the reference path.
+        """
+        per_socket_sweep = self._sweep_cost()
+        sync_cost = self._sync_cost()
+        modeled_time = 0.0
+        for sweep_index in range(total_sweeps):
+            modeled_time += per_socket_sweep
+            if (sweep_index + 1) % self.config.sync_every == 0:
+                modeled_time += sync_cost
+        return modeled_time
+
+    def _run_replicas_sequential(self, total_sweeps: int,
+                                 burn_in: int) -> ReplicaOutcome:
+        """The in-process replica loop: the bit-identical reference path."""
+        config = self.config
+        replicas = [GibbsSampler(self.compiled, seed=self.seed + s,
+                                 engine=config.engine)
+                    for s in range(config.sockets)]
+        worlds = [r.initial_assignment() for r in replicas]
+        totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+        socket_samples = [0] * config.sockets
+        for sweep_index in range(total_sweeps):
+            for socket, (replica, world) in enumerate(zip(replicas, worlds)):
+                socket_samples[socket] += replica.sweep(world)
+            if sweep_index >= burn_in:
+                for world in worlds:
+                    totals += world
+        return ReplicaOutcome(totals=totals, socket_samples=socket_samples)
+
     def run(self, num_samples: int = 100, burn_in: int = 20) -> NumaRunResult:
         """Draw marginals with one independent chain per socket.
 
         NUMA-aware mode runs ``sockets`` replicas and averages their marginal
         estimates every ``sync_every`` sweeps (model averaging); the shared
         mode runs the same total number of sweeps on a single chain, paying
-        remote-access costs.
+        remote-access costs.  With ``workers > 0`` the replica chains run in
+        worker processes over shared memory (bit-identical totals); any
+        worker failure falls back to the sequential loop with a warning.
         """
         config = self.config
         total_sweeps = burn_in + num_samples
         per_socket_sweep = self._sweep_cost()
-        socket_samples = [0] * config.sockets
         with obs.span("numa.run", sockets=config.sockets,
                       numa_aware=config.numa_aware, engine=config.engine,
-                      sync_every=config.sync_every) as sp:
+                      sync_every=config.sync_every,
+                      workers=config.workers) as sp:
             if config.numa_aware and config.sockets > 1:
-                replicas = [GibbsSampler(self.compiled, seed=self.seed + s,
-                                         engine=config.engine)
-                            for s in range(config.sockets)]
-                worlds = [r.initial_assignment() for r in replicas]
-                totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
-                collected = 0
-                modeled_time = 0.0
-                for sweep_index in range(total_sweeps):
-                    for socket, (replica, world) in enumerate(
-                            zip(replicas, worlds)):
-                        socket_samples[socket] += replica.sweep(world)
-                    modeled_time += per_socket_sweep
-                    if (sweep_index + 1) % config.sync_every == 0:
-                        modeled_time += self._sync_cost()
-                    if sweep_index >= burn_in:
-                        for world in worlds:
-                            totals += world
-                        collected += config.sockets
+                outcome = None
+                if config.workers > 0:
+                    outcome = run_replicas_parallel(
+                        self.compiled, sockets=config.sockets,
+                        seed=self.seed, engine=config.engine,
+                        total_sweeps=total_sweeps, burn_in=burn_in,
+                        sync_every=config.sync_every,
+                        workers=config.workers, mode=config.parallel_mode,
+                        timeout=config.parallel_timeout)
+                if outcome is None:
+                    outcome = self._run_replicas_sequential(total_sweeps,
+                                                            burn_in)
+                totals, socket_samples = outcome.totals, outcome.socket_samples
+                collected = config.sockets * num_samples
+                modeled_time = self._modeled_run_time(total_sweeps)
                 marginals = totals / max(collected, 1)
                 per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
             else:
@@ -168,6 +222,7 @@ class NumaGibbs:
                                        engine=config.engine)
                 world = sampler.initial_assignment()
                 totals = np.zeros(self.compiled.num_variables, dtype=np.float64)
+                socket_samples = [0] * config.sockets
                 collected = 0
                 modeled_time = 0.0
                 for sweep_index in range(total_sweeps):
@@ -177,7 +232,13 @@ class NumaGibbs:
                         totals += world
                         collected += 1
                 marginals = totals / max(collected, 1)
-                per_socket_cost = [per_socket_sweep * total_sweeps] * config.sockets
+                # One chain did the work; the interleaved-memory model
+                # spreads its accesses over the sockets, so report each
+                # socket's *share* -- replicating the full chain cost per
+                # socket would overstate the shared-model configuration's
+                # parallel work by a factor of ``sockets``.
+                per_socket_cost = [per_socket_sweep * total_sweeps
+                                   / config.sockets] * config.sockets
             samples = sum(socket_samples)
             sp.set(samples=samples, modeled_time=modeled_time)
             if obs.enabled():

@@ -12,8 +12,9 @@ from repro.nlp.mentions import (Span, parse_mention_id, phrase_between,
                                 pos_window, token_distance, window_after,
                                 window_before)
 from repro.nlp.pipeline import (DOCUMENT_SCHEMA, SENTENCE_SCHEMA, Document,
-                                Sentence, load_corpus, preprocess_document,
-                                sentence_from_row, sentence_row)
+                                Sentence, load_corpus, preprocess_corpus,
+                                preprocess_document, sentence_from_row,
+                                sentence_row)
 from repro.nlp.pos import tag, tag_token
 from repro.nlp.sentences import split_sentences
 from repro.nlp.tokenize import Token, token_texts, tokenize
@@ -32,6 +33,7 @@ __all__ = [
     "parse_mention_id",
     "phrase_between",
     "pos_window",
+    "preprocess_corpus",
     "preprocess_document",
     "sentence_from_row",
     "sentence_row",

@@ -77,22 +77,53 @@ def preprocess_document(doc: Document) -> list[Sentence]:
     return sentences
 
 
-def load_corpus(db: Database, documents: Iterable[Document]) -> int:
+def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
+                      parallel_mode: str = "auto") -> list[list[Sentence]]:
+    """Per-document sentence lists, fanned out when ``workers > 0``.
+
+    The parallel pool's chunked order-preserving merge returns exactly what
+    the sequential loop would; a pool failure silently falls back to that
+    loop, so callers always get ``[preprocess_document(d) for d in docs]``.
+    """
+    per_doc = None
+    if workers > 0 and len(documents) > 1:
+        from repro.parallel import parallel_preprocess
+        per_doc = parallel_preprocess(documents, workers=workers,
+                                      mode=parallel_mode)
+    if per_doc is None:
+        per_doc = [preprocess_document(doc) for doc in documents]
+    return per_doc
+
+
+def load_corpus(db: Database, documents: Iterable[Document],
+                workers: int | None = None,
+                parallel_mode: str | None = None) -> int:
     """Preprocess ``documents`` into the ``documents``/``sentences`` relations.
 
     Creates the relations if absent.  Returns the number of sentences loaded.
+    Rows are built per document and bulk-loaded with ``insert_many`` (one
+    relation version bump instead of one per row); ``workers`` (defaulting
+    to the database's :class:`~repro.obs.config.EngineConfig`) fans the NLP
+    chain across worker processes with byte-identical relation contents and
+    row order.
     """
     if "documents" not in db:
         db.create("documents", DOCUMENT_SCHEMA)
     if "sentences" not in db:
         db.create("sentences", SENTENCE_SCHEMA)
-    loaded = 0
-    for doc in documents:
-        db["documents"].insert((doc.doc_id, doc.content))
-        for sentence in preprocess_document(doc):
-            db["sentences"].insert(sentence_row(sentence))
-            loaded += 1
-    return loaded
+    config = getattr(db, "config", None)
+    if workers is None:
+        workers = config.workers if config is not None else 0
+    if parallel_mode is None:
+        parallel_mode = config.parallel_mode if config is not None else "auto"
+    docs = list(documents)
+    per_doc = preprocess_corpus(docs, workers=workers,
+                                parallel_mode=parallel_mode)
+    db["documents"].insert_many((doc.doc_id, doc.content) for doc in docs)
+    rows = [sentence_row(sentence)
+            for sentences in per_doc for sentence in sentences]
+    db["sentences"].insert_many(rows)
+    return len(rows)
 
 
 def sentence_row(sentence: Sentence) -> tuple:

@@ -28,13 +28,13 @@ Typical use::
 """
 
 from repro.obs.config import (ENV_VARS, VALID_BACKENDS, VALID_ENGINES,
-                              EngineConfig)
+                              VALID_PARALLEL_MODES, EngineConfig)
 from repro.obs.metrics import HistogramSummary, MetricsRegistry, metric_key
 from repro.obs.profile import PhaseRecorder, Profile
 from repro.obs.sinks import InMemorySink, JsonlSink, TreePrinterSink
 from repro.obs.span import (NULL_SPAN, Collector, NoopCollector, Span,
-                            active, count, enabled, gauge, install, installed,
-                            instrumented, observe, span, uninstall)
+                            active, adopt, count, enabled, gauge, install,
+                            installed, instrumented, observe, span, uninstall)
 
 __all__ = [
     "Collector",
@@ -52,7 +52,9 @@ __all__ = [
     "TreePrinterSink",
     "VALID_BACKENDS",
     "VALID_ENGINES",
+    "VALID_PARALLEL_MODES",
     "active",
+    "adopt",
     "count",
     "enabled",
     "gauge",

@@ -23,6 +23,7 @@ from typing import Mapping
 
 VALID_BACKENDS = ("auto", "row", "columnar")
 VALID_ENGINES = ("chromatic", "reference")
+VALID_PARALLEL_MODES = ("auto", "fork", "spawn")
 
 #: Environment fallbacks honoured by :meth:`EngineConfig.from_env`.
 ENV_VARS = {
@@ -31,6 +32,8 @@ ENV_VARS = {
     "gibbs_engine": "REPRO_GIBBS_ENGINE",
     "numa_sockets": "REPRO_NUMA_SOCKETS",
     "trace": "REPRO_TRACE",
+    "workers": "REPRO_WORKERS",
+    "parallel_mode": "REPRO_PARALLEL_MODE",
 }
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -57,6 +60,15 @@ class EngineConfig:
         When true, :class:`~repro.core.app.DeepDive` installs a span
         collector around every phase so :attr:`RunResult.profile` carries
         the full span tree and metrics, not just top-level phase spans.
+    ``workers``
+        Worker-process count for the shared-memory parallel execution
+        layer (:mod:`repro.parallel`): NUMA replica chains and corpus
+        preprocessing fan out over this many processes.  ``0`` (the
+        default) runs the exact sequential code path, which stays the
+        bit-identical reference.
+    ``parallel_mode``
+        Process start method for the worker pool: ``"auto"`` (``fork``
+        where available, else ``spawn``), ``"fork"``, or ``"spawn"``.
     """
 
     datastore_backend: str = "auto"
@@ -64,6 +76,8 @@ class EngineConfig:
     gibbs_engine: str = "chromatic"
     numa_sockets: int = 4
     trace: bool = False
+    workers: int = 0
+    parallel_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.datastore_backend not in VALID_BACKENDS:
@@ -77,6 +91,12 @@ class EngineConfig:
             raise ValueError("columnar_threshold cannot be negative")
         if self.numa_sockets < 1:
             raise ValueError("need at least one NUMA socket")
+        if self.workers < 0:
+            raise ValueError("workers cannot be negative (0 = sequential)")
+        if self.parallel_mode not in VALID_PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {self.parallel_mode!r}; "
+                f"want one of {VALID_PARALLEL_MODES}")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "EngineConfig":
@@ -110,9 +130,20 @@ class EngineConfig:
         except ValueError:
             sockets = defaults.numa_sockets
         trace = env.get(ENV_VARS["trace"], "").strip().lower() in _TRUTHY
+        try:
+            workers = int(env.get(ENV_VARS["workers"], ""))
+            if workers < 0:
+                raise ValueError
+        except ValueError:
+            workers = defaults.workers
+        parallel_mode = env.get(ENV_VARS["parallel_mode"],
+                                defaults.parallel_mode)
+        if parallel_mode not in VALID_PARALLEL_MODES:
+            parallel_mode = defaults.parallel_mode
 
         return cls(datastore_backend=backend, columnar_threshold=threshold,
-                   gibbs_engine=engine, numa_sockets=sockets, trace=trace)
+                   gibbs_engine=engine, numa_sockets=sockets, trace=trace,
+                   workers=workers, parallel_mode=parallel_mode)
 
     def with_options(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (the config itself is frozen)."""

@@ -39,6 +39,12 @@ class Profile:
                 return span
         return None
 
+    def span_total(self, name: str) -> float:
+        """Total inclusive seconds of every span named ``name`` in the
+        forest -- e.g. ``span_total("parallel.chunk")`` sums the time the
+        worker processes spent inside their adopted chunk spans."""
+        return sum(span.duration for span in self.walk() if span.name == name)
+
     def phase_seconds(self) -> dict[str, float]:
         """Top-level span durations summed by name, in first-seen order.
 

@@ -123,6 +123,27 @@ class Collector:
             for sink in self.sinks:
                 sink.on_span(span)
 
+    def adopt(self, spans: list[Span],
+              metrics: MetricsRegistry | None = None) -> None:
+        """Graft completed span trees from another process into this trace.
+
+        The worker-process trees attach under the currently open span (or
+        become roots when none is open) and ``metrics`` -- a worker's
+        registry shipped back over the result queue -- folds into this
+        collector's registry, so per-process instrumentation lands in the
+        same profile the parent run produces.
+        """
+        parent = self._stack[-1] if self._stack else None
+        for span in spans:
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+                for sink in self.sinks:
+                    sink.on_span(span)
+        if metrics is not None:
+            self.metrics.merge(metrics)
+
 
 class NoopCollector:
     """A collector-shaped object that records nothing.
@@ -218,6 +239,19 @@ def instrumented(name: str | None = None, **static_attributes) -> Callable:
                 collector.end_span(opened)
         return wrapper
     return decorate
+
+
+def adopt(spans: list[Span], metrics: MetricsRegistry | None = None) -> bool:
+    """Merge worker-process spans/metrics into the active collector.
+
+    Returns True when a collector was enabled and absorbed them; False (and
+    records nothing) otherwise -- the same hot-path contract as ``span``.
+    """
+    collector = _active
+    if collector is None or not collector.enabled:
+        return False
+    collector.adopt(spans, metrics)
+    return True
 
 
 # ------------------------------------------------------------ metric helpers

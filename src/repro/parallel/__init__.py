@@ -1,0 +1,40 @@
+"""repro.parallel: the shared-memory multiprocess execution layer.
+
+Zero-dependency (stdlib ``multiprocessing`` + numpy) parallelism for the
+two hot paths the paper attributes DeepDive's runtimes to:
+
+* **NUMA replica sampling** -- :func:`run_replicas_parallel` maps the
+  compiled factor graph into one shared-memory segment and runs each
+  socket's Gibbs replica chain in a worker process, with model-averaging
+  rendezvous barriers and a shared marginal accumulator;
+* **corpus loading** -- :func:`parallel_preprocess` fans the per-document
+  NLP chain over a crash-safe pool with an order-preserving merge.
+
+Both are dispatched by the ``workers`` knob on
+:class:`~repro.obs.config.EngineConfig`; ``workers=0``
+keeps the sequential reference paths, which every parallel result is
+bit-identical to.  Any worker crash or timeout falls back to those paths
+with a warning -- never a hang.
+"""
+
+from repro.parallel.corpus import parallel_preprocess
+from repro.parallel.pool import (DEFAULT_TIMEOUT, chunk_slices, fanout_map,
+                                 resolve_mode)
+from repro.parallel.replicas import ReplicaOutcome, run_replicas_parallel
+from repro.parallel.shm import (AttachedPack, PackHandle, SharedArrayPack,
+                                attach_compiled, share_compiled)
+
+__all__ = [
+    "AttachedPack",
+    "DEFAULT_TIMEOUT",
+    "PackHandle",
+    "ReplicaOutcome",
+    "SharedArrayPack",
+    "attach_compiled",
+    "chunk_slices",
+    "fanout_map",
+    "parallel_preprocess",
+    "resolve_mode",
+    "run_replicas_parallel",
+    "share_compiled",
+]

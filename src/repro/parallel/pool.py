@@ -1,0 +1,175 @@
+"""A crash-safe multiprocess fan-out pool (zero dependencies).
+
+``fanout_map`` chunks an ordered work list across worker processes and
+reassembles the results in input order.  The contract the rest of the
+engine relies on:
+
+* **never a hang** -- every wait is bounded by a deadline; a worker that
+  crashes, raises, or stalls makes the whole fan-out return ``None`` (after
+  terminating the survivors), and the caller falls back to its sequential
+  path;
+* **deterministic merge** -- chunks are contiguous slices of the input and
+  results are keyed by chunk index, so the merged output is exactly
+  ``[fn(x) for x in items]`` regardless of which worker ran what;
+* **observability** -- when the parent has an enabled collector, workers
+  install their own :class:`~repro.obs.span.Collector`, wrap each chunk in
+  a ``parallel.chunk`` span, and ship their span trees and metrics back to
+  be adopted into the parent's profile.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import warnings
+from time import monotonic
+from typing import Callable, Sequence
+
+from repro import obs
+
+#: Default wall-clock budget for one fan-out before declaring it stuck.
+DEFAULT_TIMEOUT = 120.0
+
+#: Chunks per worker: small enough to amortize IPC, large enough to balance.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_mode(mode: str) -> str:
+    """Map the ``parallel_mode`` knob to a concrete start method."""
+    methods = mp.get_all_start_methods()
+    if mode == "auto":
+        return "fork" if "fork" in methods else "spawn"
+    if mode not in methods:
+        raise ValueError(f"start method {mode!r} unavailable on this "
+                         f"platform (have {methods})")
+    return mode
+
+
+def chunk_slices(count: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, order-preserving ``[lo, hi)`` slices over ``count`` items."""
+    target = max(1, min(count, workers * _CHUNKS_PER_WORKER))
+    base, extra = divmod(count, target)
+    slices = []
+    lo = 0
+    for i in range(target):
+        hi = lo + base + (1 if i < extra else 0)
+        slices.append((lo, hi))
+        lo = hi
+    return slices
+
+
+def _pool_worker(worker_index: int, fn: Callable, tasks, results,
+                 trace: bool) -> None:
+    """Worker loop: pull ``(chunk_index, chunk)`` tasks until the sentinel."""
+    collector = obs.Collector() if trace else None
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            index, chunk = task
+            if collector is not None:
+                with obs.installed(collector):
+                    with obs.span("parallel.chunk", worker=worker_index,
+                                  chunk=index, items=len(chunk)):
+                        output = [fn(item) for item in chunk]
+            else:
+                output = [fn(item) for item in chunk]
+            results.put(("result", index, output))
+        if collector is not None:
+            results.put(("trace", worker_index, collector.roots,
+                         collector.metrics))
+        results.put(("done", worker_index))
+    except BaseException as exc:                       # noqa: BLE001
+        results.put(("error", worker_index, repr(exc)))
+
+
+def _drain_and_kill(processes: list, reason: str) -> None:
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+    warnings.warn(f"parallel fan-out abandoned ({reason}); "
+                  "falling back to the sequential path", RuntimeWarning,
+                  stacklevel=3)
+
+
+def fanout_map(fn: Callable, items: Sequence, *, workers: int,
+               mode: str = "auto",
+               timeout: float = DEFAULT_TIMEOUT) -> list | None:
+    """``[fn(x) for x in items]`` across worker processes, or ``None``.
+
+    ``None`` signals the fan-out failed (worker crash, exception, or
+    deadline); the caller must fall back to computing sequentially.
+    ``fn`` must be a picklable module-level callable under ``spawn``.
+    """
+    items = list(items)
+    if workers <= 0:
+        raise ValueError("fanout_map needs workers >= 1; workers=0 is the "
+                         "caller's sequential path")
+    if not items:
+        return []
+    workers = min(workers, len(items))
+    ctx = mp.get_context(resolve_mode(mode))
+    trace = obs.enabled()
+    tasks = ctx.Queue()
+    results = ctx.Queue()
+    slices = chunk_slices(len(items), workers)
+    for index, (lo, hi) in enumerate(slices):
+        tasks.put((index, items[lo:hi]))
+    for _ in range(workers):
+        tasks.put(None)
+
+    processes = [ctx.Process(target=_pool_worker,
+                             args=(w, fn, tasks, results, trace), daemon=True)
+                 for w in range(workers)]
+    for process in processes:
+        process.start()
+
+    deadline = monotonic() + timeout
+    collected: dict[int, list] = {}
+    done: set[int] = set()
+    adopted: list[tuple[list, object]] = []
+    try:
+        while len(collected) < len(slices) or len(done) < workers:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                _drain_and_kill(processes, "deadline exceeded")
+                return None
+            try:
+                message = results.get(timeout=min(remaining, 0.25))
+            except queue_module.Empty:
+                dead = [p for p in processes
+                        if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    _drain_and_kill(processes,
+                                    f"worker exited with {dead[0].exitcode}")
+                    return None
+                continue
+            kind = message[0]
+            if kind == "result":
+                collected[message[1]] = message[2]
+            elif kind == "trace":
+                adopted.append((message[2], message[3]))
+            elif kind == "done":
+                done.add(message[1])
+            else:                                      # "error"
+                _drain_and_kill(processes, f"worker raised {message[2]}")
+                return None
+        for process in processes:
+            process.join(timeout=5.0)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        tasks.close()
+        results.close()
+
+    for spans, metrics in adopted:
+        obs.adopt(spans, metrics)
+    merged: list = []
+    for index in range(len(slices)):
+        merged.extend(collected[index])
+    return merged

@@ -1,0 +1,194 @@
+"""Real parallel NUMA replica chains over a shared-memory compiled graph.
+
+This is the execution backend behind :class:`~repro.inference.numa.NumaGibbs`
+when ``workers > 0``: the compiled graph's arrays go into one shared-memory
+segment (:func:`~repro.parallel.shm.share_compiled`), each worker process
+maps them zero-copy, and every NUMA replica's Gibbs chain runs in a worker
+(replicas are assigned round-robin when there are fewer workers than
+sockets).  Workers sweep locally, accumulate their replicas' post-burn-in
+marginal totals into a shared accumulator, and rendezvous at ``sync_every``
+barriers -- the model-averaging cadence of DimmWitted (Section 4.2).
+
+Determinism contract: replica ``s`` always runs with seed ``seed + s`` and
+its own RNG, totals are exact integer sums in float64, and the merge order
+never touches the arithmetic -- so the returned totals and sample counts
+are **bit-identical** to the sequential reference path for any worker
+count.  The property/determinism suites assert this for 2 and 4 workers.
+
+Failure contract: a worker crash, exception, broken barrier, or deadline
+returns ``None`` (after terminating survivors and unlinking the segments);
+the caller falls back to the sequential path.  Never a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import warnings
+from contextlib import nullcontext
+from dataclasses import dataclass
+from time import monotonic
+
+import numpy as np
+
+from repro import obs
+from repro.parallel.pool import DEFAULT_TIMEOUT, resolve_mode
+from repro.parallel.shm import (PackHandle, SharedArrayPack, attach_compiled,
+                                share_compiled)
+
+
+@dataclass
+class ReplicaOutcome:
+    """What the replica fan-out (or its sequential twin) produces."""
+
+    totals: np.ndarray           # per-variable post-burn-in marginal totals
+    socket_samples: list[int]    # variable samples drawn per replica
+
+
+def _replica_worker(worker_index: int, graph_handle: PackHandle,
+                    acc_handle: PackHandle, replica_ids: list[int],
+                    seed: int, engine: str, total_sweeps: int, burn_in: int,
+                    sync_every: int, barrier, barrier_timeout: float,
+                    results, trace: bool) -> None:
+    """Run this worker's replica chains against the shared graph."""
+    from repro.inference.gibbs import GibbsSampler
+    from repro.parallel.shm import AttachedPack
+
+    try:
+        graph_pack, compiled_view = attach_compiled(graph_handle)
+        acc = AttachedPack(acc_handle)
+        totals = acc.views["totals"]
+        samples_out = acc.views["samples"]
+        collector = obs.Collector() if trace else None
+        scope = obs.installed(collector) if collector else nullcontext()
+        with scope:
+            with obs.span("numa.replica_worker", worker=worker_index,
+                          replicas=len(replica_ids), engine=engine) as sp:
+                samplers = [GibbsSampler(compiled_view, seed=seed + s,
+                                         engine=engine)
+                            for s in replica_ids]
+                worlds = [sampler.initial_assignment() for sampler in samplers]
+                drawn = [0] * len(replica_ids)
+                for sweep_index in range(total_sweeps):
+                    for i, sampler in enumerate(samplers):
+                        drawn[i] += sampler.sweep(worlds[i])
+                    if sweep_index >= burn_in:
+                        for i, s in enumerate(replica_ids):
+                            totals[s] += worlds[i]
+                    if barrier is not None and sync_every > 0 \
+                            and (sweep_index + 1) % sync_every == 0:
+                        barrier.wait(timeout=barrier_timeout)
+                for i, s in enumerate(replica_ids):
+                    samples_out[s] = drawn[i]
+                sp.set(samples=sum(drawn))
+        if collector is not None:
+            results.put(("trace", worker_index, collector.roots,
+                         collector.metrics))
+        results.put(("done", worker_index))
+    except BaseException as exc:                       # noqa: BLE001
+        if barrier is not None:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        results.put(("error", worker_index, repr(exc)))
+
+
+def run_replicas_parallel(compiled, *, sockets: int, seed: int, engine: str,
+                          total_sweeps: int, burn_in: int,
+                          sync_every: int = 1, workers: int = 1,
+                          mode: str = "auto",
+                          timeout: float = DEFAULT_TIMEOUT
+                          ) -> ReplicaOutcome | None:
+    """Fan the ``sockets`` replica chains out over ``workers`` processes.
+
+    Returns ``None`` when the fan-out fails for any reason; the caller runs
+    the sequential reference path instead.
+    """
+    if workers <= 0 or sockets < 1:
+        return None
+    workers = min(workers, sockets)
+    try:
+        ctx = mp.get_context(resolve_mode(mode))
+    except ValueError as exc:
+        warnings.warn(f"parallel replicas unavailable: {exc}", RuntimeWarning,
+                      stacklevel=2)
+        return None
+
+    assignments = [[s for s in range(sockets) if s % workers == w]
+                   for w in range(workers)]
+    trace = obs.enabled()
+    graph_pack = share_compiled(compiled)
+    acc_pack = SharedArrayPack({
+        "totals": np.zeros((sockets, compiled.num_variables),
+                           dtype=np.float64),
+        "samples": np.zeros(sockets, dtype=np.int64),
+    })
+    barrier = ctx.Barrier(workers) if workers > 1 else None
+    results = ctx.Queue()
+    processes = []
+    outcome: ReplicaOutcome | None = None
+    failure: str | None = None
+    try:
+        with obs.span("numa.parallel_replicas", sockets=sockets,
+                      workers=workers, engine=engine,
+                      sync_every=sync_every) as sp:
+            for w in range(workers):
+                process = ctx.Process(
+                    target=_replica_worker,
+                    args=(w, graph_pack.handle, acc_pack.handle,
+                          assignments[w], seed, engine, total_sweeps,
+                          burn_in, sync_every, barrier, timeout, results,
+                          trace),
+                    daemon=True)
+                processes.append(process)
+                process.start()
+
+            deadline = monotonic() + timeout
+            done: set[int] = set()
+            adopted: list[tuple[list, object]] = []
+            while len(done) < workers and failure is None:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    failure = "deadline exceeded"
+                    break
+                try:
+                    message = results.get(timeout=min(remaining, 0.25))
+                except queue_module.Empty:
+                    dead = [p for p in processes
+                            if not p.is_alive()
+                            and p.exitcode not in (0, None)]
+                    if dead:
+                        failure = f"worker exited with {dead[0].exitcode}"
+                    continue
+                kind = message[0]
+                if kind == "done":
+                    done.add(message[1])
+                elif kind == "trace":
+                    adopted.append((message[2], message[3]))
+                else:                                  # "error"
+                    failure = f"worker raised {message[2]}"
+            if failure is None:
+                for process in processes:
+                    process.join(timeout=5.0)
+                outcome = ReplicaOutcome(
+                    totals=np.array(acc_pack.views["totals"]).sum(axis=0),
+                    socket_samples=[int(n) for n in
+                                    acc_pack.views["samples"]])
+                sp.set(samples=sum(outcome.socket_samples))
+                for spans, metrics in adopted:
+                    obs.adopt(spans, metrics)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        results.close()
+        graph_pack.close()
+        acc_pack.close()
+    if failure is not None:
+        warnings.warn(f"parallel replica execution failed ({failure}); "
+                      "falling back to the sequential path", RuntimeWarning,
+                      stacklevel=2)
+        return None
+    return outcome

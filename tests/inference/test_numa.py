@@ -32,6 +32,22 @@ class TestNumaConfig:
         with pytest.raises(ValueError, match="engine"):
             NumaConfig(engine="turbo")
 
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            NumaConfig(workers=-1)
+
+    def test_invalid_parallel_mode(self):
+        with pytest.raises(ValueError, match="parallel mode"):
+            NumaConfig(parallel_mode="threads")
+
+    def test_from_engine_config_threads_worker_knobs(self):
+        from repro.obs import EngineConfig
+        config = NumaConfig.from_engine_config(
+            EngineConfig(numa_sockets=2, workers=3, parallel_mode="fork"))
+        assert config.sockets == 2
+        assert config.workers == 3
+        assert config.parallel_mode == "fork"
+
 
 class TestEngineThreading:
     def test_engines_produce_identical_runs(self):
@@ -54,6 +70,19 @@ class TestEngineThreading:
         # sockets work in parallel: the modeled time covers at least the
         # busiest socket (plus sync rounds)
         assert result.modeled_time >= max(result.per_socket_cost)
+
+    def test_shared_mode_cost_split_across_sockets(self):
+        """Non-aware mode runs ONE chain; per-socket cost is each socket's
+        share of that chain's interleaved accesses, so the shares sum to
+        the sweep part of the modeled time instead of ``sockets`` times it.
+        """
+        compiled = chain_graph()
+        config = NumaConfig(sockets=4, numa_aware=False)
+        result = NumaGibbs(compiled, config).run(num_samples=10, burn_in=2)
+        assert len(result.per_socket_cost) == 4
+        # no sync rounds in shared mode: modeled time is exactly the sweeps
+        np.testing.assert_allclose(sum(result.per_socket_cost),
+                                   result.modeled_time)
 
 
 class TestCostModel:

@@ -6,7 +6,8 @@ import os
 import pytest
 
 from repro.datastore import query as Q
-from repro.obs import ENV_VARS, VALID_BACKENDS, VALID_ENGINES, EngineConfig
+from repro.obs import (ENV_VARS, VALID_BACKENDS, VALID_ENGINES,
+                       VALID_PARALLEL_MODES, EngineConfig)
 
 
 class TestDefaults:
@@ -17,6 +18,8 @@ class TestDefaults:
         assert config.gibbs_engine == "chromatic"
         assert config.numa_sockets == 4
         assert config.trace is False
+        assert config.workers == 0
+        assert config.parallel_mode == "auto"
 
     def test_frozen(self):
         config = EngineConfig()
@@ -49,9 +52,18 @@ class TestValidation:
         with pytest.raises(ValueError):
             EngineConfig(numa_sockets=0)
 
+    def test_negative_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(workers=-1)
+
+    def test_bad_parallel_mode(self):
+        with pytest.raises(ValueError, match="parallel"):
+            EngineConfig(parallel_mode="threads")
+
     def test_valid_constants(self):
         assert set(VALID_BACKENDS) == {"auto", "row", "columnar"}
         assert set(VALID_ENGINES) == {"chromatic", "reference"}
+        assert set(VALID_PARALLEL_MODES) == {"auto", "fork", "spawn"}
 
 
 class TestFromEnv:
@@ -65,12 +77,15 @@ class TestFromEnv:
             ENV_VARS["gibbs_engine"]: "reference",
             ENV_VARS["numa_sockets"]: "2",
             ENV_VARS["trace"]: "1",
+            ENV_VARS["workers"]: "4",
+            ENV_VARS["parallel_mode"]: "fork",
         }
         config = EngineConfig.from_env(env)
         assert config == EngineConfig(datastore_backend="columnar",
                                       columnar_threshold=7,
                                       gibbs_engine="reference",
-                                      numa_sockets=2, trace=True)
+                                      numa_sockets=2, trace=True,
+                                      workers=4, parallel_mode="fork")
 
     @pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
     def test_trace_truthy(self, value):
@@ -86,8 +101,15 @@ class TestFromEnv:
             ENV_VARS["columnar_threshold"]: "not-a-number",
             ENV_VARS["gibbs_engine"]: "",
             ENV_VARS["numa_sockets"]: "-3",
+            ENV_VARS["workers"]: "-2",
+            ENV_VARS["parallel_mode"]: "threads",
         }
         assert EngineConfig.from_env(env) == EngineConfig()
+
+    def test_workers_parsed(self):
+        assert EngineConfig.from_env({ENV_VARS["workers"]: "2"}).workers == 2
+        assert EngineConfig.from_env(
+            {ENV_VARS["workers"]: "junk"}).workers == 0
 
 
 class TestDispatchIsolation:
