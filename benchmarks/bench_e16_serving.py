@@ -1,0 +1,226 @@
+"""E16 -- the serving layer: ingest throughput, read latency, recovery cost.
+
+The online-KBC claim under test: keeping the knowledge base *live* is
+cheaper than re-running the batch pipeline per update, and readers are
+never blocked by ingest.  Three measurements:
+
+* **incremental vs full**: wall time to absorb a one-document delta through
+  DRed grounding + Section-4.2 incremental refresh, against the same delta
+  forced through a full learn+inference re-run;
+* **concurrent serving**: reader threads hammer versioned snapshots while
+  the apply loop commits a stream of single-document batches — ingest
+  throughput plus read p50/p99, and a readers-never-block check (reads
+  keep completing, fast, *while* commits are in flight);
+* **recovery**: time to come back from checkpoint + WAL tail.
+
+Machine-readable results land in ``results/BENCH_e16_serving.json`` for CI
+to validate.
+"""
+
+from __future__ import annotations
+
+import threading
+from statistics import quantiles
+from time import perf_counter
+
+from conftest import once, write_json
+
+from repro.core.app import DeepDive
+from repro.inference import LearningOptions
+from repro.serve import KBService, ServeConfig, add_documents, add_rows
+
+PROGRAM = """
+Content(s text, content text).
+NameMention(s text, m text, token text, position int).
+GoodName?(m text).
+GoodList(token text).
+BadList(token text).
+
+GoodName(m) :-
+    NameMention(s, m, t, p), Content(s, content)
+    weight = name_features(t, content).
+
+GoodName_Ev(m, true) :- NameMention(s, m, t, p), GoodList(t).
+GoodName_Ev(m, false) :- NameMention(s, m, t, p), BadList(t).
+"""
+
+GOOD = ["apple", "plum", "pear", "fig", "grape", "melon", "lime", "peach"]
+BAD = ["rust", "mold", "rot", "slime", "blight", "decay", "scum", "tar"]
+
+
+def extractor(sentence):
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        lower = token.lower()
+        if lower in GOOD + BAD:
+            rows.append((sentence.key, f"{sentence.key}:{position}",
+                         lower, position))
+    return rows
+
+
+def app_factory(extra_rules=""):
+    source = PROGRAM + ("\n" + extra_rules if extra_rules else "")
+    app = DeepDive(source, seed=0)
+    app.register_udf("name_features",
+                     lambda t, content: [f"word:{t}",
+                                         "fresh" if t in GOOD else "spoiled"])
+    app.add_extractor("NameMention", extractor)
+    app.add_extractor("Content", lambda s: [(s.key, s.text)])
+    return app
+
+
+RUN_KWARGS = dict(threshold=0.7, learning=LearningOptions(epochs=60, seed=0),
+                  num_samples=300, burn_in=50)
+
+NUM_BOOTSTRAP_DOCS = 24
+NUM_INGEST_BATCHES = 8
+NUM_READERS = 4
+
+
+def bootstrap_ops():
+    docs = [(f"d{i}", f"the {GOOD[i % len(GOOD)]} and the "
+                      f"{BAD[(i + i // 8) % len(BAD)]} sat there .")
+            for i in range(NUM_BOOTSTRAP_DOCS)]
+    return [add_documents(docs),
+            add_rows("GoodList", [(g,) for g in GOOD[:5]]),
+            add_rows("BadList", [(b,) for b in BAD[:5]])]
+
+
+def delta_batch(index):
+    token = GOOD[index % len(GOOD)]
+    return [add_documents([(f"n{index}", f"the {token} sat there again .")])]
+
+
+def make_service(tmp_path, tag, **config_changes):
+    options = dict(checkpoint_every=0, refresh_samples=60, refresh_burn_in=15)
+    options.update(config_changes)
+    return KBService.create(tmp_path / tag, app_factory, bootstrap_ops(),
+                            config=ServeConfig(**options),
+                            run_kwargs=RUN_KWARGS)
+
+
+def measure_incremental_vs_full(tmp_path):
+    """Same one-document delta: incremental refresh vs forced full re-run."""
+    with make_service(tmp_path, "incremental") as service:
+        started = perf_counter()
+        snapshot = service.ingest(delta_batch(0), wait=True)
+        incremental_seconds = perf_counter() - started
+        assert snapshot.refresh in ("sampling", "variational")
+    # full_rerun_fraction ~ 0 forces every delta through the full pipeline
+    with make_service(tmp_path, "full",
+                      full_rerun_fraction=1e-9) as service:
+        started = perf_counter()
+        snapshot = service.ingest(delta_batch(0), wait=True)
+        full_seconds = perf_counter() - started
+        assert snapshot.refresh == "full_run"
+    return incremental_seconds, full_seconds
+
+
+def measure_concurrent_serving(tmp_path):
+    """Readers hammer snapshots while the writer commits a delta stream."""
+    with make_service(tmp_path, "concurrent") as service:
+        stop = threading.Event()
+        ingesting = threading.Event()
+        latencies: list[list[float]] = [[] for _ in range(NUM_READERS)]
+        during: list[int] = [0] * NUM_READERS
+
+        def reader(slot):
+            while not stop.is_set():
+                started = perf_counter()
+                snapshot = service.snapshot()
+                snapshot.output_tuples("GoodName")
+                latencies[slot].append(perf_counter() - started)
+                if ingesting.is_set():
+                    during[slot] += 1
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(NUM_READERS)]
+        for thread in threads:
+            thread.start()
+        ingesting.set()
+        ingest_started = perf_counter()
+        for index in range(NUM_INGEST_BATCHES):
+            service.ingest(delta_batch(index), wait=True)
+        ingest_seconds = perf_counter() - ingest_started
+        ingesting.clear()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        final_version = service.snapshot().version
+
+    flat = sorted(sum(latencies, []))
+    cuts = quantiles(flat, n=100)
+    return {
+        "ingest_batches": NUM_INGEST_BATCHES,
+        "ingest_seconds": ingest_seconds,
+        "ingest_batches_per_sec": NUM_INGEST_BATCHES / ingest_seconds,
+        "reads_total": len(flat),
+        "reads_during_ingest": sum(during),
+        "read_p50_ms": cuts[49] * 1000,
+        "read_p99_ms": cuts[98] * 1000,
+        "readers_never_blocked": (
+            all(count > 0 for count in during)
+            and cuts[98] < ingest_seconds / NUM_INGEST_BATCHES),
+        "final_version": final_version,
+    }
+
+
+def measure_recovery(tmp_path):
+    """Stop a service cleanly, then time checkpoint + WAL-tail recovery."""
+    service = make_service(tmp_path, "recover", checkpoint_every=4)
+    for index in range(6):                       # checkpoint at 4, tail 5..6
+        service.ingest(delta_batch(index), wait=True)
+    expected = dict(service.snapshot().marginals)
+    service.stop()
+    started = perf_counter()
+    recovered = KBService.open(tmp_path / "recover", app_factory,
+                               config=service.config, run_kwargs=RUN_KWARGS)
+    recovery_seconds = perf_counter() - started
+    with recovered:
+        identical = dict(recovered.snapshot().marginals) == expected
+    return recovery_seconds, identical
+
+
+def test_e16_serving(benchmark, reporter, tmp_path):
+    results = {}
+
+    def experiment():
+        incremental, full = measure_incremental_vs_full(tmp_path)
+        results["incremental_seconds"] = incremental
+        results["full_rerun_seconds"] = full
+        results["incremental_speedup"] = full / incremental
+        results.update(measure_concurrent_serving(tmp_path))
+        recovery_seconds, identical = measure_recovery(tmp_path)
+        results["recovery_seconds"] = recovery_seconds
+        results["recovery_bit_identical"] = identical
+        return results
+
+    once(benchmark, experiment)
+
+    reporter.line("E16 -- online serving: live KB vs batch re-runs")
+    reporter.line()
+    reporter.table(
+        ["measurement", "value"],
+        [["1-doc delta, incremental refresh",
+          f"{results['incremental_seconds'] * 1000:.1f} ms"],
+         ["1-doc delta, forced full re-run",
+          f"{results['full_rerun_seconds'] * 1000:.1f} ms"],
+         ["incremental speedup",
+          f"{results['incremental_speedup']:.1f}x"],
+         ["ingest throughput",
+          f"{results['ingest_batches_per_sec']:.1f} batches/s"],
+         ["read p50 / p99",
+          f"{results['read_p50_ms']:.2f} / {results['read_p99_ms']:.2f} ms"],
+         ["reads during ingest",
+          f"{results['reads_during_ingest']} of {results['reads_total']}"],
+         ["readers never blocked",
+          str(results["readers_never_blocked"])],
+         ["recovery (checkpoint + WAL tail)",
+          f"{results['recovery_seconds'] * 1000:.0f} ms"],
+         ["recovery bit-identical",
+          str(results["recovery_bit_identical"])]])
+    write_json("BENCH_e16_serving", results)
+
+    assert results["incremental_speedup"] > 1.0   # measurably cheaper
+    assert results["readers_never_blocked"]
+    assert results["recovery_bit_identical"]

@@ -103,6 +103,35 @@ class DeepDive:
             DocumentExtractor(fn, name or fn.__name__))
 
     # ------------------------------------------------------------------- data
+    def _staged_rows(self, documents: list[Document]) -> tuple[dict[str, list], int]:
+        """The exact base-relation rows ingesting ``documents`` produces.
+
+        Shared by :meth:`load_documents` (which inserts them) and
+        :meth:`remove_documents` (which recomputes and deletes them): the
+        NLP pipeline and the extractor UDFs are deterministic over document
+        content, so recomputation is the inverse of ingestion.
+        """
+        with obs.span("nlp.preprocess", documents=len(documents),
+                      workers=self.config.workers):
+            per_doc = preprocess_corpus(
+                documents, workers=self.config.workers,
+                parallel_mode=self.config.parallel_mode)
+            sentences = [s for group in per_doc for s in group]
+        with obs.span("extractors.run",
+                      extractors=len(self._extractors)) as sp:
+            candidate_rows = run_extractors(self._extractors, sentences)
+            sp.set(candidates=sum(len(r) for r in candidate_rows.values()))
+        rows: dict[str, list] = {
+            "documents": [(d.doc_id, d.content) for d in documents],
+            "sentences": [sentence_row(s) for s in sentences],
+        }
+        for relation, extracted in candidate_rows.items():
+            rows.setdefault(relation, []).extend(extracted)
+        for relation, extracted in run_document_extractors(
+                self._document_extractors, documents).items():
+            rows.setdefault(relation, []).extend(extracted)
+        return rows, len(sentences)
+
     def load_documents(self, documents: Iterable[Document]) -> int:
         """Preprocess documents and run candidate generation over them.
 
@@ -112,28 +141,34 @@ class DeepDive:
         """
         with self._recorder.phase("candidate_generation") as phase:
             documents = list(documents)
-            with obs.span("nlp.preprocess", documents=len(documents),
-                          workers=self.config.workers):
-                per_doc = preprocess_corpus(
-                    documents, workers=self.config.workers,
-                    parallel_mode=self.config.parallel_mode)
-                sentences = [s for group in per_doc for s in group]
-            with obs.span("extractors.run",
-                          extractors=len(self._extractors)) as sp:
-                candidate_rows = run_extractors(self._extractors, sentences)
-                sp.set(candidates=sum(len(r) for r in candidate_rows.values()))
-            inserts: dict[str, list] = {
-                "documents": [(d.doc_id, d.content) for d in documents],
-                "sentences": [sentence_row(s) for s in sentences],
-            }
-            for relation, rows in candidate_rows.items():
-                inserts.setdefault(relation, []).extend(rows)
-            for relation, rows in run_document_extractors(
-                    self._document_extractors, documents).items():
-                inserts.setdefault(relation, []).extend(rows)
+            inserts, num_sentences = self._staged_rows(documents)
             self._apply(inserts=inserts)
-            phase.set(documents=len(documents), sentences=len(sentences))
-        return len(sentences)
+            phase.set(documents=len(documents), sentences=num_sentences)
+        return num_sentences
+
+    def remove_documents(self, doc_ids: Iterable[str]) -> int:
+        """Remove documents and everything ingestion derived from them.
+
+        Recomputes the sentence rows and extractor outputs from the stored
+        content (the pipeline is deterministic) and deletes them; the
+        deletions then flow through DRed incremental grounding like any
+        other retraction.  Returns the number of documents removed.
+        """
+        documents_relation = self.db["documents"]
+        documents: list[Document] = []
+        for doc_id in doc_ids:
+            stored = next(iter(
+                documents_relation.lookup(["doc_id"], [doc_id])), None)
+            if stored is None:
+                raise KeyError(f"no document {doc_id!r} loaded")
+            documents.append(Document(doc_id, stored[1]))
+        if not documents:
+            return 0
+        with self._recorder.phase("document_removal") as phase:
+            deletes, num_sentences = self._staged_rows(documents)
+            self._apply(deletes=deletes)
+            phase.set(documents=len(documents), sentences=num_sentences)
+        return len(documents)
 
     def add_rows(self, relation: str, rows: Iterable[Sequence]) -> None:
         """Add rows to a base relation (e.g. a distant-supervision KB)."""
@@ -156,6 +191,49 @@ class DeepDive:
         delta = self._grounder.apply_changes(inserts=inserts, deletes=deletes)
         self._pending_touched |= delta.touched_keys
         return delta
+
+    # ----------------------------------------------------- serving interface
+    @property
+    def chain_state(self) -> dict | None:
+        """The last run's materialized Gibbs chain (world + marginals by
+        variable key), or ``None`` before any run.  The serving layer
+        checkpoints this so a recovered service resumes incremental
+        inference from the exact chain the crashed one held."""
+        return self._chain_state
+
+    @chain_state.setter
+    def chain_state(self, state: dict | None) -> None:
+        if state is not None and not {"world", "marginals"} <= set(state):
+            raise ValueError("chain state needs 'world' and 'marginals'")
+        self._chain_state = state
+
+    def drain_touched(self) -> set:
+        """Return and clear the variable keys touched since the last drain.
+
+        Grounding deltas accumulate touched keys until either a run consumes
+        them or an external driver (the serving apply loop) drains them to
+        seed its own incremental refresh.
+        """
+        touched = self._pending_touched
+        self._pending_touched = set()
+        return touched
+
+    def adopt(self, db: Database, grounder: Grounder | None,
+              chain_state: dict | None = None) -> None:
+        """Install recovered state: database, grounder, and chain.
+
+        Used by checkpoint recovery (:mod:`repro.serve`): the database comes
+        from a dump, the grounder from :meth:`Grounder.restore` over it, and
+        the chain state from the checkpoint payload.  The app continues as
+        if it had built that state itself.
+        """
+        if grounder is not None and grounder.db is not db:
+            raise ValueError("grounder must be bound to the adopted database")
+        self.db = db
+        self._grounder = grounder
+        self._chain_state = chain_state
+        self._pending_touched = set()
+        self._ensure_corpus_relations()
 
     # -------------------------------------------------------------- grounding
     @property

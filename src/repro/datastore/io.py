@@ -77,32 +77,51 @@ def relation_to_csv_text(relation: Relation) -> str:
 
 
 # --------------------------------------------------------------------- JSON
+#: Current JSON database format.  v2 adds each relation's mutation-version
+#: counter so a restored database resumes IVM/DRed cache keying where the
+#: dumped one left off; v1 dumps (no counter) still load.
+DATABASE_FORMAT_VERSION = 2
+SUPPORTED_DATABASE_VERSIONS = (1, 2)
+
+
 def database_to_dict(db: Database, relations: Iterable[str] | None = None) -> dict:
     """Serialize ``db`` (or a subset of relations) to a JSON-compatible dict."""
     names = list(relations) if relations is not None else db.names()
-    payload = {"version": 1, "relations": {}}
+    payload = {"version": DATABASE_FORMAT_VERSION, "relations": {}}
     for name in names:
         relation = db[name]
         payload["relations"][name] = {
             "schema": [[c.name, c.type.value] for c in relation.schema.columns],
             "rows": [[list(v) if isinstance(v, tuple) else v for v in row]
                      for row in relation],
+            "mutation_version": relation.mutation_version,
         }
     return payload
 
 
 def database_from_dict(data: dict) -> Database:
-    """Inverse of :func:`database_to_dict`."""
-    if data.get("version") != 1:
-        raise ValueError(f"unsupported database format version "
-                         f"{data.get('version')!r}")
+    """Inverse of :func:`database_to_dict`.
+
+    Restored relations resume the persisted mutation-version counters, so
+    incremental machinery (DRed views, columnar caches) keyed on them
+    behaves exactly as it would have over the original database.
+    """
+    if data.get("version") not in SUPPORTED_DATABASE_VERSIONS:
+        raise ValueError(
+            f"unsupported database format version {data.get('version')!r}; "
+            f"this build reads versions {SUPPORTED_DATABASE_VERSIONS}")
     db = Database()
     for name, item in data["relations"].items():
         schema = Schema.of(**{column: type_name
                               for column, type_name in item["schema"]})
-        db.create(name, schema)
-        for row in item["rows"]:
-            db[name].insert(row)
+        relation = db.create(name, schema)
+        # one bulk insert (a single version bump) so the persisted counter —
+        # which counted at least one mutation per stored row batch — can
+        # always be restored exactly
+        relation.insert_many(item["rows"])
+        persisted = item.get("mutation_version")
+        if persisted is not None and persisted > relation.mutation_version:
+            relation.restore_mutation_version(persisted)
     return db
 
 

@@ -82,6 +82,26 @@ class Relation:
     def distinct_count(self) -> int:
         return len(self._counts)
 
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Caches across the engine (columnar encodings, DRed view inputs) key
+        on it, so a database restored from a dump must resume from the
+        persisted counter — restarting at zero could alias a stale cache
+        entry for an object at the same address.  Persistence round-trips it
+        via :meth:`restore_mutation_version`.
+        """
+        return self._version
+
+    def restore_mutation_version(self, version: int) -> None:
+        """Fast-forward the mutation counter (dump/load restore path only)."""
+        if version < self._version:
+            raise ValueError(
+                f"cannot rewind mutation version of {self.name!r} from "
+                f"{self._version} to {version}")
+        self._version = version
+
     def count(self, row: Sequence[Any]) -> int:
         """Multiplicity of ``row`` (0 if absent)."""
         return self._counts.get(self.schema.validate_row(row), 0)

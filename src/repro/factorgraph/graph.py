@@ -159,6 +159,78 @@ class FactorGraph:
                 variable.factor_ids.discard(factor_id)
         self.weights[factor.weight_id].observations -= 1
 
+    # ----------------------------------------------------------- restoration
+    # Checkpoint recovery must rebuild a graph whose variable/weight/factor
+    # ids match the live graph exactly: CompiledGraph orders variables by id,
+    # so id drift would reorder the Gibbs sweep and break bit-identical
+    # replay, and the grounder's row->factor bookkeeping stores raw ids.
+    def restore_variable(self, var_id: int, key: Hashable,
+                         evidence: bool | None = None,
+                         initial: bool = False) -> int:
+        """Insert a variable under an explicit id (checkpoint restore)."""
+        if var_id in self.variables:
+            raise GraphError(f"variable id {var_id} already present")
+        if key in self._var_by_key:
+            raise GraphError(f"variable key {key!r} already present")
+        self.variables[var_id] = Variable(var_id, key, evidence=evidence,
+                                          initial=initial)
+        self._var_by_key[key] = var_id
+        self._next_var = max(self._next_var, var_id + 1)
+        return var_id
+
+    def restore_weight(self, weight_id: int, key: Hashable, value: float = 0.0,
+                       fixed: bool = False, observations: int = 0) -> int:
+        """Insert a weight under an explicit id (checkpoint restore)."""
+        if weight_id in self.weights:
+            raise GraphError(f"weight id {weight_id} already present")
+        if key in self._weight_by_key:
+            raise GraphError(f"weight key {key!r} already present")
+        self.weights[weight_id] = Weight(weight_id, key, value, fixed,
+                                         observations)
+        self._weight_by_key[key] = weight_id
+        self._next_weight = max(self._next_weight, weight_id + 1)
+        return weight_id
+
+    def restore_factor(self, factor_id: int, function: FactorFunction,
+                       var_ids: Sequence[int], weight_id: int,
+                       negated: Sequence[bool] | None = None) -> int:
+        """Insert a factor under an explicit id (checkpoint restore).
+
+        Unlike :meth:`add_factor` this does **not** bump the weight's
+        observation count: restored weights carry their persisted counts.
+        """
+        if factor_id in self.factors:
+            raise GraphError(f"factor id {factor_id} already present")
+        var_ids = tuple(var_ids)
+        if negated is None:
+            negated = (False,) * len(var_ids)
+        negated = tuple(negated)
+        if len(negated) != len(var_ids):
+            raise GraphError("negated mask length must match variable count")
+        for var_id in var_ids:
+            if var_id not in self.variables:
+                raise GraphError(f"unknown variable id {var_id}")
+        if weight_id not in self.weights:
+            raise GraphError(f"unknown weight id {weight_id}")
+        self.factors[factor_id] = Factor(factor_id, function, var_ids,
+                                         negated, weight_id)
+        for var_id in var_ids:
+            self.variables[var_id].factor_ids.add(factor_id)
+        self._next_factor = max(self._next_factor, factor_id + 1)
+        return factor_id
+
+    def next_ids(self) -> dict[str, int]:
+        """The id-allocation counters (persisted so restore + new insertions
+        allocate the same ids the live graph would have)."""
+        return {"variable": self._next_var, "factor": self._next_factor,
+                "weight": self._next_weight}
+
+    def restore_next_ids(self, counters: dict[str, int]) -> None:
+        """Fast-forward the id counters to persisted values."""
+        self._next_var = max(self._next_var, counters.get("variable", 0))
+        self._next_factor = max(self._next_factor, counters.get("factor", 0))
+        self._next_weight = max(self._next_weight, counters.get("weight", 0))
+
     # -------------------------------------------------------------- inspection
     @property
     def num_variables(self) -> int:

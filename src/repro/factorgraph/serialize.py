@@ -2,10 +2,24 @@
 
 DeepDive passes grounded factor graphs between the grounder (in the
 database) and the sampler (outside it); persisting the graph also lets the
-engineer archive each iteration's model next to its error-analysis document.
-The format is plain JSON-compatible dicts: keys are stringified, structure
-is versioned, and a round-trip is exact for every supported key type
-(strings, ints, and nested tuples thereof).
+engineer archive each iteration's model next to its error-analysis document,
+and the serving layer's checkpoints embed it for crash recovery.  The format
+is plain JSON-compatible dicts: keys are stringified, structure is
+versioned, and a round-trip is exact for every supported key type (strings,
+ints, and nested tuples thereof).
+
+Format history:
+
+* **v1** stored variables/weights/factors without stable identity; loading
+  compacted ids, which is fine for archival but useless for recovery.
+* **v2** (current) additionally records each variable, weight, and factor id
+  and the weights' observation counts, so :func:`from_dict` reconstructs a
+  graph whose id space matches the original exactly.  ``CompiledGraph``
+  orders variables by id, so id-exact restore is what makes checkpoint
+  recovery bit-identical.
+
+Loading rejects any other version outright — a payload from a newer writer
+must never be half-parsed into a silently wrong graph.
 """
 
 from __future__ import annotations
@@ -16,61 +30,113 @@ from typing import Any
 from repro.factorgraph.factor_functions import FactorFunction
 from repro.factorgraph.graph import FactorGraph
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :func:`from_dict` knows how to read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def _encode_key(key: Any) -> Any:
-    """Encode a variable/weight key into JSON-safe structure."""
+class SerializationError(ValueError):
+    """Raised when a payload cannot be (de)serialized safely."""
+
+
+def encode_key(key: Any) -> Any:
+    """Encode a variable/weight key into JSON-safe structure.
+
+    Tuples become ``{"t": [...]}`` wrappers so nested-tuple keys survive a
+    JSON round-trip exactly.  Public because the serving layer reuses the
+    codec for chain-state and grounder-state keys.
+    """
     if isinstance(key, tuple):
-        return {"t": [_encode_key(k) for k in key]}
+        return {"t": [encode_key(k) for k in key]}
     if isinstance(key, (str, int, float, bool)) or key is None:
         return key
     raise TypeError(f"cannot serialize key of type {type(key).__name__}")
 
 
-def _decode_key(data: Any) -> Any:
+def decode_key(data: Any) -> Any:
+    """Inverse of :func:`encode_key`."""
     if isinstance(data, dict) and set(data) == {"t"}:
-        return tuple(_decode_key(k) for k in data["t"])
+        return tuple(decode_key(k) for k in data["t"])
     return data
 
 
+# backwards-compatible private aliases (pre-v2 internal names)
+_encode_key = encode_key
+_decode_key = decode_key
+
+
 def to_dict(graph: FactorGraph) -> dict:
-    """Serialize ``graph`` to a JSON-compatible dict."""
+    """Serialize ``graph`` to a JSON-compatible dict (current format)."""
     return {
         "version": FORMAT_VERSION,
+        "next_ids": graph.next_ids(),
         "variables": [
-            {"id": v.var_id, "key": _encode_key(v.key),
+            {"id": v.var_id, "key": encode_key(v.key),
              "evidence": v.evidence, "initial": v.initial}
             for v in graph.variables.values()
         ],
         "weights": [
-            {"id": w.weight_id, "key": _encode_key(w.key), "value": w.value,
-             "fixed": w.fixed}
+            {"id": w.weight_id, "key": encode_key(w.key), "value": w.value,
+             "fixed": w.fixed, "observations": w.observations}
             for w in graph.weights.values()
         ],
         "factors": [
-            {"function": int(f.function), "vars": list(f.var_ids),
-             "negated": list(f.negated), "weight": f.weight_id}
+            {"id": f.factor_id, "function": int(f.function),
+             "vars": list(f.var_ids), "negated": list(f.negated),
+             "weight": f.weight_id}
             for f in graph.factors.values()
         ],
     }
 
 
+def _check_version(data: dict) -> int:
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"unsupported factor-graph format version {version!r}; this "
+            f"build reads versions {SUPPORTED_VERSIONS} (current "
+            f"{FORMAT_VERSION}). The payload was probably written by a "
+            f"newer repro — refusing to guess at its layout.")
+    return version
+
+
 def from_dict(data: dict) -> FactorGraph:
-    """Reconstruct a graph serialized by :func:`to_dict`."""
-    if data.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported factor-graph format version "
-                         f"{data.get('version')!r}")
+    """Reconstruct a graph serialized by :func:`to_dict`.
+
+    v2 payloads restore ids exactly (including gaps left by removals); v1
+    payloads predate stable ids and load with compacted ids.
+    """
+    version = _check_version(data)
+    if version == 1:
+        return _from_dict_v1(data)
+    graph = FactorGraph()
+    for item in data["variables"]:
+        graph.restore_variable(item["id"], decode_key(item["key"]),
+                               evidence=item["evidence"],
+                               initial=item["initial"])
+    for item in data["weights"]:
+        graph.restore_weight(item["id"], decode_key(item["key"]),
+                             value=item["value"], fixed=item["fixed"],
+                             observations=item["observations"])
+    for item in data["factors"]:
+        graph.restore_factor(item["id"], FactorFunction(item["function"]),
+                             item["vars"], item["weight"],
+                             negated=item["negated"])
+    graph.restore_next_ids(data.get("next_ids", {}))
+    return graph
+
+
+def _from_dict_v1(data: dict) -> FactorGraph:
     graph = FactorGraph()
     id_map: dict[int, int] = {}
     for item in data["variables"]:
-        new_id = graph.variable(_decode_key(item["key"]),
+        new_id = graph.variable(decode_key(item["key"]),
                                 initial=item["initial"])
         graph.variables[new_id].evidence = item["evidence"]
         id_map[item["id"]] = new_id
     weight_map: dict[int, int] = {}
     for item in data["weights"]:
-        new_id = graph.weight(_decode_key(item["key"]),
+        new_id = graph.weight(decode_key(item["key"]),
                               initial_value=item["value"],
                               fixed=item["fixed"])
         weight_map[item["id"]] = new_id

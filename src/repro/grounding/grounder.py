@@ -31,7 +31,8 @@ from repro.ddlog.ast import (FixedWeight, HeadConnective, PerRuleWeight, Rule,
                              RuleKind, UdfWeight, Var, VarWeight)
 from repro.ddlog.program import DDlogProgram
 from repro.ddlog.validate import evidence_base
-from repro.factorgraph import FactorFunction, FactorGraph
+from repro.factorgraph import (FactorFunction, FactorGraph, decode_key,
+                               encode_key)
 from repro.grounding.expansion import derived_relation_plans, expanded_rule_body
 
 _CONNECTIVE_FUNCTIONS = {
@@ -167,6 +168,88 @@ class Grounder:
                 ground_row = self._ground_row
                 for row in self.db.views[view_name].visible_rows():
                     ground_row(index, row, delta)
+
+    # ---------------------------------------------------- checkpoint support
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the grounder's mutable bookkeeping.
+
+        Together with the database dump and the serialized factor graph this
+        is everything :meth:`restore` needs to resume incremental grounding
+        exactly where this grounder stands: the row->factor-id map DRed
+        retractions consult, the distant-supervision vote counters, and the
+        weight-provenance table.  Factor ids refer to the graph's id space,
+        which v2 graph serialization preserves exactly.
+        """
+        return {
+            "row_factors": [
+                [index, encode_key(row), list(factor_ids)]
+                for (index, row), factor_ids in self._row_factors.items()
+            ],
+            "evidence_votes": {
+                relation: [
+                    [encode_key(values),
+                     counter.get(True, 0), counter.get(False, 0)]
+                    for values, counter in votes.items()
+                ]
+                for relation, votes in self._evidence_votes.items()
+            },
+            "weight_provenance": [
+                [encode_key(key), p.rule_text, p.description, p.rule_index]
+                for key, p in self.weight_provenance.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, program: DDlogProgram, db: Database, graph: FactorGraph,
+                state: dict, config: EngineConfig | None = None) -> "Grounder":
+        """Rebuild a grounder from checkpointed parts without re-grounding.
+
+        ``db`` must be the restored database (base relations, derived
+        relations, variable tuples and evidence rows all present) and
+        ``graph`` the id-exact deserialized factor graph.  Views are
+        re-materialized from the database — deterministic given its contents
+        — while the graph and the grounding bookkeeping are adopted as-is,
+        so subsequent :meth:`apply_changes` rounds behave bit-identically to
+        the grounder that was checkpointed.
+        """
+        program.validate()
+        self = cls.__new__(cls)
+        self.program = program
+        self.db = db
+        self.config = config if config is not None \
+            else getattr(db, "config", None)
+        self.graph = graph
+        self.weight_provenance = {
+            decode_key(key): WeightProvenance(rule_text, description,
+                                              rule_index)
+            for key, rule_text, description, rule_index
+            in state.get("weight_provenance", [])
+        }
+        program.create_relations(db)
+        self._derived = derived_relation_plans(program.ast, program.udfs)
+        self._rules = list(program.ast.rules)
+        self._row_factors = {
+            (index, decode_key(row)): list(factor_ids)
+            for index, row, factor_ids in state.get("row_factors", [])
+        }
+        self._evidence_votes = {}
+        for relation, votes in state.get("evidence_votes", {}).items():
+            decoded = self._evidence_votes.setdefault(relation, {})
+            for values, positive, negative in votes:
+                counter: Counter = Counter()
+                if positive:
+                    counter[True] = positive
+                if negative:
+                    counter[False] = negative
+                decoded[decode_key(values)] = counter
+        self._view_rules = {}
+        self._rule_schemas = {}
+        self._head_readers = {}
+        self._weight_fns = {}
+        with obs.span("grounding.restore_views") as sp:
+            self._define_views()
+            sp.set(views=len(db.views.names()))
+        return self
 
     # ----------------------------------------------------------- public API
     def apply_changes(self, inserts: dict[str, list[Sequence[Any]]] | None = None,

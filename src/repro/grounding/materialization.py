@@ -140,6 +140,27 @@ class VariationalMaterialization:
             compiled.is_evidence].astype(float)
         self.materialization_work = self._converge()
 
+    @classmethod
+    def from_state(cls, compiled: CompiledGraph, mu: np.ndarray,
+                   max_passes: int = 100, tolerance: float = 1e-3,
+                   ) -> "VariationalMaterialization":
+        """Adopt persisted mean-field parameters without converging afresh.
+
+        The serving layer checkpoints ``mu`` between ingest batches; warm
+        starting from it keeps update cost at the few-pass level the
+        strategy optimizer assumes, instead of paying the full
+        materialization each time a service restarts.
+        """
+        strategy = cls.__new__(cls)
+        strategy.compiled = compiled
+        strategy.max_passes = max_passes
+        strategy.tolerance = tolerance
+        strategy.mu = mu.copy()
+        strategy.mu[compiled.is_evidence] = compiled.evidence_values[
+            compiled.is_evidence].astype(float)
+        strategy.materialization_work = 0.0
+        return strategy
+
     def _converge(self) -> float:
         """Run damped mean-field passes to convergence; returns work units."""
         compiled = self.compiled

@@ -148,3 +148,52 @@ class EngineConfig:
     def with_options(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (the config itself is frozen)."""
         return replace(self, **changes)
+
+
+# --------------------------------------------------------------- serving env
+#: Environment fallbacks honoured by ``repro.serve.ServeConfig.from_env``.
+#: They are *parsed* here (and only here) to preserve the single-reader
+#: hygiene rule; the dataclass they configure lives in ``repro.serve.config``
+#: next to the subsystem it steers.
+SERVE_ENV_VARS = {
+    "checkpoint_every": "REPRO_SERVE_CHECKPOINT_EVERY",
+    "keep_checkpoints": "REPRO_SERVE_KEEP_CHECKPOINTS",
+    "wal_fsync": "REPRO_SERVE_FSYNC",
+    "max_batch_ops": "REPRO_SERVE_MAX_BATCH",
+    "queue_capacity": "REPRO_SERVE_QUEUE_CAPACITY",
+    "admission": "REPRO_SERVE_ADMISSION",
+    "full_rerun_fraction": "REPRO_SERVE_FULL_RERUN_FRACTION",
+    "strategy": "REPRO_SERVE_STRATEGY",
+}
+
+_SERVE_PARSERS = {
+    "checkpoint_every": int,
+    "keep_checkpoints": int,
+    "wal_fsync": lambda raw: raw.strip().lower() in _TRUTHY,
+    "max_batch_ops": int,
+    "queue_capacity": int,
+    "admission": str,
+    "full_rerun_fraction": float,
+    "strategy": str,
+}
+
+
+def serve_env_overrides(environ: Mapping[str, str] | None = None) -> dict:
+    """Parse ``REPRO_SERVE_*`` fallbacks into ServeConfig keyword overrides.
+
+    Read once, leniently — unset or malformed variables are simply omitted
+    so the dataclass defaults (and its own validation) apply.  Like
+    :meth:`EngineConfig.from_env`, this is environment-reading code and
+    therefore lives in this module and nowhere else.
+    """
+    env = os.environ if environ is None else environ
+    overrides: dict = {}
+    for field_name, var in SERVE_ENV_VARS.items():
+        raw = env.get(var)
+        if raw is None:
+            continue
+        try:
+            overrides[field_name] = _SERVE_PARSERS[field_name](raw)
+        except ValueError:
+            continue
+    return overrides

@@ -16,6 +16,7 @@ observability section for the naming table.
 from __future__ import annotations
 
 import functools
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -106,7 +107,19 @@ class Collector:
         self.roots: list[Span] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sinks = list(sinks)
-        self._stack: list[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list["Span"]:
+        # per-thread nesting stacks: the serving layer opens reader spans on
+        # arbitrary threads while the apply loop holds its own open spans;
+        # sharing one stack would splice those trees together.  Each
+        # thread's roots still land in the shared ``roots`` list (list
+        # append is atomic under the GIL).
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def start_span(self, name: str, attributes: dict) -> Span:
         span = Span(name, attributes, start=perf_counter())

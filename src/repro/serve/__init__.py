@@ -1,0 +1,61 @@
+"""Durable online serving for DeepDive-style KBC applications.
+
+The batch pipeline (:class:`repro.core.DeepDive`) answers "run this program
+over this corpus once".  This package keeps that KB *alive*: documents,
+evidence, and even rules arrive as a stream of deltas; marginals refresh
+incrementally (Section 4.2 materialization strategies); readers query
+immutable versioned snapshots while the single writer works; and a
+write-ahead log plus periodic checkpoints make the whole thing crash
+recoverable with bit-identical marginals.
+
+Typical use::
+
+    from repro.serve import KBService, add_documents
+
+    with KBService.create(dirpath, app_factory, bootstrap_ops) as service:
+        service.ingest(add_documents([("d9", "Ann married Bob.")]))
+        spouses = service.query("spouse")
+
+    # later, or after a crash:
+    service = KBService.open(dirpath, app_factory)
+"""
+
+from repro.serve.checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointError,
+                                    CheckpointInfo, CheckpointManager)
+from repro.serve.config import ServeConfig
+from repro.serve.engine import DEFAULT_RUN_KWARGS, ServeEngine
+from repro.serve.ops import (AddDocuments, AddRows, AddRules, IngestOp,
+                             OpError, RemoveDocuments, RemoveRows,
+                             add_documents, add_rows, op_from_record,
+                             remove_rows)
+from repro.serve.service import IngestRejected, KBService, ServiceFailed
+from repro.serve.snapshot import Snapshot
+from repro.serve.wal import WalError, WalRecord, WriteAheadLog
+
+__all__ = [
+    "AddDocuments",
+    "AddRows",
+    "AddRules",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "DEFAULT_RUN_KWARGS",
+    "IngestOp",
+    "IngestRejected",
+    "KBService",
+    "OpError",
+    "RemoveDocuments",
+    "RemoveRows",
+    "ServeConfig",
+    "ServeEngine",
+    "ServiceFailed",
+    "Snapshot",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "add_documents",
+    "add_rows",
+    "op_from_record",
+    "remove_rows",
+]

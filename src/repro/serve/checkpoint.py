@@ -1,0 +1,120 @@
+"""Checkpoints: periodic durable images of the whole serving state.
+
+A checkpoint bounds recovery time (replay = WAL tail only, not the full
+history) and is the only way learned weights survive a restart — the
+factor-graph payload embeds them, while re-grounding alone would reset every
+weight to its initial value.
+
+One checkpoint file carries, as a single JSON document:
+
+* the datastore (``datastore.io`` v2 dump, mutation counters included);
+* the factor graph (``factorgraph.serialize`` v2, id-exact);
+* the grounder's bookkeeping (:meth:`Grounder.state_dict`);
+* the inference state (chain world + marginals, mean-field parameters);
+* the publish cursor (``lsn``, snapshot version, threshold).
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-checkpoint
+leaves the previous checkpoint intact; loads verify a format version and
+refuse anything unknown rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from dataclasses import dataclass
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.json$")
+
+
+class CheckpointError(ValueError):
+    """Raised for unreadable or unsupported checkpoint payloads."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """A checkpoint on disk: its path and the LSN it covers."""
+
+    path: pathlib.Path
+    lsn: int
+
+
+class CheckpointManager:
+    """Save/load/prune checkpoints in one service directory."""
+
+    def __init__(self, directory: str | os.PathLike,
+                 keep: int = 2) -> None:
+        self.directory = pathlib.Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- saving
+    def save(self, payload: dict, lsn: int) -> CheckpointInfo:
+        """Atomically persist ``payload`` as the checkpoint covering ``lsn``.
+
+        The payload is stamped with the format version; older checkpoints
+        beyond the retention count are pruned afterwards (never before — a
+        failed save must not eat the previous checkpoint).
+        """
+        document = dict(payload)
+        document["format"] = CHECKPOINT_FORMAT_VERSION
+        document["lsn"] = lsn
+        path = self.directory / f"checkpoint-{lsn:012d}.json"
+        temp = path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as stream:
+            json.dump(document, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp, path)
+        self.prune()
+        return CheckpointInfo(path, lsn)
+
+    def prune(self) -> list[pathlib.Path]:
+        """Delete all but the newest ``keep`` checkpoints; returns removals."""
+        removed = []
+        for info in self.list()[:-self.keep] if self.keep else []:
+            info.path.unlink(missing_ok=True)
+            removed.append(info.path)
+        return removed
+
+    # --------------------------------------------------------------- loading
+    def list(self) -> list[CheckpointInfo]:
+        """Checkpoints on disk, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            match = _CHECKPOINT_RE.match(path.name)
+            if match:
+                found.append(CheckpointInfo(path, int(match.group(1))))
+        return sorted(found, key=lambda info: info.lsn)
+
+    def latest(self) -> CheckpointInfo | None:
+        """The newest checkpoint, or ``None`` for a fresh directory."""
+        checkpoints = self.list()
+        return checkpoints[-1] if checkpoints else None
+
+    def load(self, info: CheckpointInfo | None = None) -> dict:
+        """Read and validate a checkpoint payload (default: the latest)."""
+        if info is None:
+            info = self.latest()
+            if info is None:
+                raise CheckpointError(f"no checkpoint in {self.directory}")
+        try:
+            with open(info.path, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"unreadable checkpoint {info.path}: {error}") from None
+        version = payload.get("format")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format {version!r} in {info.path}; "
+                f"this build reads version {CHECKPOINT_FORMAT_VERSION}")
+        if payload.get("lsn") != info.lsn:
+            raise CheckpointError(
+                f"checkpoint {info.path} claims lsn {payload.get('lsn')!r} "
+                f"but its filename says {info.lsn}")
+        return payload

@@ -1,0 +1,318 @@
+"""The deterministic core of the serving layer.
+
+:class:`ServeEngine` turns a batch of ingest operations into the next
+knowledge-base version: data deltas flow through the app's DRed incremental
+grounding, rule deltas trigger the full re-extraction regime, and marginals
+are refreshed with the Section-4.2 materialization strategy the rule-based
+optimizer picks (sampling in a neighbourhood of the change, or warm-started
+variational passes over the whole graph) — falling back to a full
+learn+inference run when a delta touches too much of the graph.
+
+Everything here is single-threaded and *deterministic*: given the same
+bootstrap and the same sequence of ``(lsn, batch)`` applications, the engine
+produces bit-identical marginals.  That determinism is the recovery
+contract — :class:`~repro.serve.service.KBService` replays WAL batches
+through this exact code path after restoring a checkpoint, and must land on
+the same numbers the crashed service would have published.  Concurrency
+(queue, threads, backpressure) lives entirely in the service layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro import obs
+from repro.core.app import DeepDive
+from repro.datastore.io import database_from_dict, database_to_dict
+from repro.ddlog.validate import evidence_base
+from repro.factorgraph import CompiledGraph, decode_key, encode_key
+from repro.factorgraph import serialize as fg_serialize
+from repro.grounding import (Grounder, SamplingMaterialization,
+                             VariationalMaterialization, choose_strategy)
+from repro.nlp.pipeline import Document
+from repro.serve.config import ServeConfig
+from repro.serve.ops import (AddDocuments, AddRows, AddRules, IngestOp,
+                             OpError, RemoveDocuments, RemoveRows)
+from repro.serve.snapshot import Snapshot
+
+#: ``app_factory(extra_rules)`` must build a fresh, empty application with
+#: every UDF and extractor registered; ``extra_rules`` is accumulated DDlog
+#: source from AddRules operations ("" for the original program).
+AppFactory = Callable[[str], DeepDive]
+
+#: Serving-friendly defaults for full runs: no holdout carving and no
+#: training-histogram free-run — the service publishes marginals, not
+#: calibration artifacts.  Callers override any of these via ``run_kwargs``.
+DEFAULT_RUN_KWARGS = {"holdout_fraction": 0.0,
+                      "compute_train_histogram": False}
+
+
+class ServeEngine:
+    """Single-writer state machine from ingest batches to KB versions."""
+
+    def __init__(self, app_factory: AppFactory,
+                 config: ServeConfig | None = None,
+                 run_kwargs: dict | None = None) -> None:
+        self.app_factory = app_factory
+        self.config = config if config is not None else ServeConfig()
+        self.run_kwargs = dict(DEFAULT_RUN_KWARGS)
+        self.run_kwargs.update(run_kwargs or {})
+        self.threshold = float(self.run_kwargs.get("threshold", 0.9))
+        self.app: DeepDive | None = None
+        self.version = -1                       # bootstrap publishes 0
+        self.rule_deltas: list[str] = []
+        # inference state carried between batches, keyed by variable key so
+        # it survives graph recompilation (and checkpointing)
+        self._world: dict[Hashable, bool] = {}
+        self._marginals: dict[Hashable, float] = {}
+        self._mu: dict[Hashable, float] = {}
+
+    # -------------------------------------------------------------- bootstrap
+    def bootstrap(self, ops: list[IngestOp]) -> Snapshot:
+        """Build the initial knowledge base and publish version 0.
+
+        ``ops`` are the initial corpus and KB loads; they stage plain
+        inserts (no grounding exists yet), then one full learn+inference run
+        produces the first marginals.
+        """
+        if self.app is not None:
+            raise RuntimeError("engine already bootstrapped")
+        with obs.span("serve.bootstrap", ops=len(ops)):
+            self.app = self.app_factory("")
+            for op in ops:
+                self._dispatch(op)
+            marginals = self._full_run()
+        return self._publish(marginals, lsn=0, refresh="full_run")
+
+    # ------------------------------------------------------------ apply path
+    def apply_batch(self, ops: list[IngestOp], lsn: int) -> Snapshot:
+        """Apply one committed batch and publish the next version."""
+        if self.app is None:
+            raise RuntimeError("bootstrap the engine before applying batches")
+        with obs.span("serve.apply_batch", lsn=lsn, ops=len(ops)) as sp:
+            rebuild_needed = False
+            for op in ops:
+                if isinstance(op, AddRules):
+                    self.rule_deltas.append(op.source)
+                    rebuild_needed = True
+                else:
+                    self._dispatch(op)
+            if rebuild_needed:
+                marginals = self._rebuild_with_rules()
+                refresh = "full_run"
+            else:
+                touched = self.app.drain_touched()
+                num_variables = max(1, self.app.graph.num_variables)
+                if len(touched) / num_variables > self.config.full_rerun_fraction:
+                    marginals = self._full_run()
+                    refresh = "full_run"
+                else:
+                    marginals, refresh = self._refresh(touched)
+            sp.set(refresh=refresh)
+        return self._publish(marginals, lsn=lsn, refresh=refresh)
+
+    def _dispatch(self, op: IngestOp) -> None:
+        app = self.app
+        if isinstance(op, AddDocuments):
+            app.load_documents([Document(doc_id, content)
+                                for doc_id, content in op.documents])
+        elif isinstance(op, RemoveDocuments):
+            app.remove_documents(op.doc_ids)
+        elif isinstance(op, AddRows):
+            app.add_rows(op.relation, op.rows)
+        elif isinstance(op, RemoveRows):
+            app.remove_rows(op.relation, op.rows)
+        elif isinstance(op, AddRules):
+            raise OpError("AddRules cannot be dispatched as a data delta")
+        else:
+            raise OpError(f"unknown ingest op {type(op).__name__}")
+
+    # --------------------------------------------------------------- refresh
+    def _refresh_seed(self) -> int:
+        """Per-version seed: replay of version N resamples exactly as the
+        original version-N refresh did."""
+        return self.app.seed + 7 + 101 * (self.version + 1)
+
+    def _refresh(self, touched: set) -> tuple[dict, str]:
+        """Incremental marginal refresh over the touched neighbourhood."""
+        compiled = CompiledGraph(self.app.graph)
+        n = compiled.num_variables
+        if n == 0:
+            self._world, self._marginals, self._mu = {}, {}, {}
+            return {}, "none"
+        seed = self._refresh_seed()
+        rng = np.random.default_rng(seed)
+        world = rng.random(n) < 0.5
+        marginals = np.full(n, 0.5)
+        mu = np.full(n, 0.5)
+        changed: set[int] = set()
+        for index, key in enumerate(compiled.var_keys):
+            if key in self._world:
+                world[index] = self._world[key]
+                marginals[index] = self._marginals[key]
+            else:
+                changed.add(index)              # brand-new variable
+            stored_mu = self._mu.get(key)
+            if stored_mu is not None:
+                mu[index] = stored_mu
+            if key in touched:
+                changed.add(index)
+
+        if not changed:
+            clamped = compiled.is_evidence
+            marginals[clamped] = compiled.evidence_values[clamped]
+            refresh = "none"
+        else:
+            refresh = self.config.strategy
+            if refresh == "auto":
+                choice = choose_strategy(
+                    compiled, expected_updates=self.config.expected_updates,
+                    expected_change_size=len(changed))
+                refresh = choice.strategy
+            with obs.span("serve.refresh", strategy=refresh,
+                          changed=len(changed)) as sp:
+                if refresh == "sampling":
+                    strategy = SamplingMaterialization.from_state(
+                        compiled, world, marginals, seed=seed)
+                    update = strategy.update(
+                        changed, radius=self.config.radius,
+                        num_samples=self.config.refresh_samples,
+                        burn_in=self.config.refresh_burn_in)
+                    world = strategy.world
+                else:
+                    strategy = VariationalMaterialization.from_state(compiled, mu)
+                    update = strategy.update(changed)
+                    mu = strategy.mu
+                marginals = update.marginals
+                sp.set(work=update.work)
+            if obs.enabled():
+                obs.observe("serve.refresh.work", update.work,
+                            strategy=refresh)
+
+        self._world = {key: bool(world[i])
+                       for i, key in enumerate(compiled.var_keys)}
+        self._marginals = {key: float(marginals[i])
+                           for i, key in enumerate(compiled.var_keys)}
+        self._mu = {key: float(mu[i])
+                    for i, key in enumerate(compiled.var_keys)}
+        return dict(self._marginals), refresh
+
+    def _full_run(self) -> dict:
+        """Full learn+inference; re-seeds the incremental state from it."""
+        with obs.span("serve.full_run"):
+            result = self.app.run(**self.run_kwargs)
+        chain = self.app.chain_state
+        self._world = dict(chain["world"])
+        self._marginals = dict(chain["marginals"])
+        # mean-field parameters warm-start from the fresh marginals
+        self._mu = dict(chain["marginals"])
+        return {key: float(value) for key, value in result.marginals.items()}
+
+    # ------------------------------------------------------------ rule delta
+    def _base_relation_names(self, app: DeepDive) -> list[str]:
+        """Relations holding *ingested* data (as opposed to relations the
+        grounder fills: variable tuples, evidence rows, derived views)."""
+        program = app.program
+        grounder_owned = {d.name for d in program.variable_relations()}
+        grounder_owned |= {f"{name}_Ev" for name in set(grounder_owned)}
+        grounder_owned |= {rule.head.relation
+                           for rule in program.supervision_rules}
+        grounder_owned |= {evidence_base(rule.head.relation)
+                           for rule in program.supervision_rules}
+        grounder_owned |= {rule.head.relation
+                           for rule in program.derivation_rules}
+        return [name for name in self.app.db.names()
+                if name not in grounder_owned]
+
+    def _rebuild_with_rules(self) -> dict:
+        """The full re-extraction regime for rule deltas.
+
+        Build a fresh app over the extended program, carry over every base
+        relation (documents, sentences, candidates, KB facts), and run the
+        whole pipeline.  Grounder-owned relations are deliberately *not*
+        copied — re-grounding regenerates them, and copying would double
+        supervision votes.
+        """
+        old_app = self.app
+        with obs.span("serve.rule_rebuild", rules=len(self.rule_deltas)):
+            new_app = self.app_factory("\n".join(self.rule_deltas))
+            for name in self._base_relation_names(new_app):
+                relation = old_app.db[name]
+                if name not in new_app.db:
+                    new_app.db.create(name, relation.schema)
+                new_app.db[name].insert_many(list(relation))
+            self.app = new_app
+            return self._full_run()
+
+    # ------------------------------------------------------------ publishing
+    def _publish(self, marginals: dict, lsn: int, refresh: str) -> Snapshot:
+        self.version += 1
+        return Snapshot(
+            version=self.version,
+            lsn=lsn,
+            marginals=dict(marginals),
+            threshold=self.threshold,
+            refresh=refresh,
+            graph_stats=self.app.graph.stats(),
+            relation_counts=self.app.db.stats(),
+        )
+
+    # ---------------------------------------------------------- checkpointing
+    def checkpoint_payload(self) -> dict:
+        """Everything needed to resume this engine, JSON-compatible."""
+        return {
+            "engine_version": self.version,
+            "threshold": self.threshold,
+            "rule_deltas": list(self.rule_deltas),
+            "database": database_to_dict(self.app.db),
+            "graph": fg_serialize.to_dict(self.app.graph),
+            "grounder": self.app.grounder.state_dict(),
+            "state": {
+                "world": [[encode_key(key), value]
+                          for key, value in self._world.items()],
+                "marginals": [[encode_key(key), value]
+                              for key, value in self._marginals.items()],
+                "mu": [[encode_key(key), value]
+                       for key, value in self._mu.items()],
+            },
+        }
+
+    @classmethod
+    def restore(cls, payload: dict, app_factory: AppFactory,
+                config: ServeConfig | None = None,
+                run_kwargs: dict | None = None) -> "ServeEngine":
+        """Rebuild an engine from :meth:`checkpoint_payload` output.
+
+        The database dump, the id-exact graph, and the grounder bookkeeping
+        are adopted as-is (no re-grounding), so subsequent batches behave
+        bit-identically to the engine that was checkpointed.
+        """
+        engine = cls(app_factory, config=config, run_kwargs=run_kwargs)
+        engine.threshold = float(payload["threshold"])
+        engine.rule_deltas = list(payload["rule_deltas"])
+        engine.version = int(payload["engine_version"])
+        with obs.span("serve.restore"):
+            app = app_factory("\n".join(engine.rule_deltas))
+            db = database_from_dict(payload["database"])
+            db.config = app.config
+            graph = fg_serialize.from_dict(payload["graph"])
+            grounder = Grounder.restore(app.program, db, graph,
+                                        payload["grounder"],
+                                        config=app.config)
+            app.adopt(db, grounder)
+        engine.app = app
+        state = payload["state"]
+        engine._world = {decode_key(key): bool(value)
+                         for key, value in state["world"]}
+        engine._marginals = {decode_key(key): float(value)
+                             for key, value in state["marginals"]}
+        engine._mu = {decode_key(key): float(value)
+                      for key, value in state["mu"]}
+        return engine
+
+    def current_snapshot(self, lsn: int, refresh: str = "restored") -> Snapshot:
+        """Re-publish the engine's current marginals (post-restore)."""
+        self.version -= 1                        # _publish re-increments
+        return self._publish(dict(self._marginals), lsn=lsn, refresh=refresh)

@@ -1,0 +1,138 @@
+"""Typed ingest operations: the serving layer's write vocabulary.
+
+Everything that can change a live knowledge base travels as one of these
+operations — through the bounded ingest queue, into the write-ahead log, and
+finally through the DRed incremental grounding pipeline.  Each operation has
+an exact JSON record form (`to_record`/`op_from_record`) so the WAL can
+replay it bit-for-bit: rows reuse the nested-tuple key codec from
+:mod:`repro.factorgraph.serialize`.
+
+The vocabulary mirrors *Incremental Knowledge Base Construction Using
+DeepDive*: document arrival/retraction, supervision (KB) updates as row
+deltas on base relations, and rule deltas (new DDlog rules), which trigger
+the full re-extraction regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.factorgraph.serialize import decode_key, encode_key
+
+
+class OpError(ValueError):
+    """Raised for malformed ingest operations or records."""
+
+
+@dataclass(frozen=True)
+class AddDocuments:
+    """Ingest raw documents: NLP, extraction, then incremental grounding."""
+
+    documents: tuple[tuple[str, str], ...]      # (doc_id, content) pairs
+
+    KIND = "add_documents"
+
+    def to_record(self) -> dict:
+        return {"op": self.KIND,
+                "documents": [[doc_id, content]
+                              for doc_id, content in self.documents]}
+
+
+@dataclass(frozen=True)
+class RemoveDocuments:
+    """Retract documents and everything ingestion derived from them."""
+
+    doc_ids: tuple[str, ...]
+
+    KIND = "remove_documents"
+
+    def to_record(self) -> dict:
+        return {"op": self.KIND, "doc_ids": list(self.doc_ids)}
+
+
+@dataclass(frozen=True)
+class AddRows:
+    """Insert rows into a base relation (e.g. a distant-supervision KB)."""
+
+    relation: str
+    rows: tuple[tuple, ...]
+
+    KIND = "add_rows"
+
+    def to_record(self) -> dict:
+        return {"op": self.KIND, "relation": self.relation,
+                "rows": [encode_key(row) for row in self.rows]}
+
+
+@dataclass(frozen=True)
+class RemoveRows:
+    """Delete rows from a base relation (supervision retraction)."""
+
+    relation: str
+    rows: tuple[tuple, ...]
+
+    KIND = "remove_rows"
+
+    def to_record(self) -> dict:
+        return {"op": self.KIND, "relation": self.relation,
+                "rows": [encode_key(row) for row in self.rows]}
+
+
+@dataclass(frozen=True)
+class AddRules:
+    """Append DDlog rules to the program (triggers full re-extraction)."""
+
+    source: str                                  # DDlog rule text
+
+    KIND = "add_rules"
+
+    def to_record(self) -> dict:
+        return {"op": self.KIND, "source": self.source}
+
+
+IngestOp = AddDocuments | RemoveDocuments | AddRows | RemoveRows | AddRules
+
+_OP_KINDS = {cls.KIND: cls for cls in
+             (AddDocuments, RemoveDocuments, AddRows, RemoveRows, AddRules)}
+
+
+def add_documents(documents) -> AddDocuments:
+    """Build an :class:`AddDocuments` from ``(doc_id, content)`` pairs or
+    :class:`~repro.nlp.pipeline.Document` objects."""
+    pairs = []
+    for doc in documents:
+        if hasattr(doc, "doc_id"):
+            pairs.append((doc.doc_id, doc.content))
+        else:
+            doc_id, content = doc
+            pairs.append((str(doc_id), str(content)))
+    return AddDocuments(tuple(pairs))
+
+
+def add_rows(relation: str, rows: Sequence[Sequence[Any]]) -> AddRows:
+    return AddRows(relation, tuple(tuple(row) for row in rows))
+
+
+def remove_rows(relation: str, rows: Sequence[Sequence[Any]]) -> RemoveRows:
+    return RemoveRows(relation, tuple(tuple(row) for row in rows))
+
+
+def op_from_record(record: dict) -> IngestOp:
+    """Decode a WAL record back into its typed operation."""
+    kind = record.get("op")
+    cls = _OP_KINDS.get(kind)
+    if cls is None:
+        raise OpError(f"unknown ingest op kind {kind!r}; "
+                      f"known kinds: {sorted(_OP_KINDS)}")
+    if cls is AddDocuments:
+        return AddDocuments(tuple((doc_id, content)
+                                  for doc_id, content in record["documents"]))
+    if cls is RemoveDocuments:
+        return RemoveDocuments(tuple(record["doc_ids"]))
+    if cls is AddRules:
+        return AddRules(record["source"])
+    rows = tuple(decode_key(row) for row in record["rows"])
+    if cls is AddRows:
+        return AddRows(record["relation"], rows)
+    return RemoveRows(record["relation"], rows)

@@ -1,0 +1,361 @@
+"""The long-lived KBC service: one writer, many readers, durable commits.
+
+:class:`KBService` wraps a :class:`~repro.serve.engine.ServeEngine` with the
+three things a service needs that a batch pipeline doesn't:
+
+* **a single-writer apply loop** (daemon thread) that drains a *bounded*
+  ingest queue, coalesces operations into batches, and commits each batch
+  as WAL-append → apply → publish.  The WAL append comes first, so any
+  crash after it replays the batch on recovery;
+* **versioned concurrent reads**: every commit publishes an immutable
+  :class:`~repro.serve.snapshot.Snapshot`; readers grab the current
+  reference (one atomic load) and query it without ever blocking on — or
+  observing — an ingest in flight;
+* **admission control**: the queue has a fixed capacity and either blocks
+  producers (backpressure) or rejects with :class:`IngestRejected`.
+
+Durability is checkpoint + WAL: a checkpoint is taken at bootstrap, every
+``checkpoint_every`` batches, and on request; recovery (:meth:`KBService.open`)
+loads the newest checkpoint and replays the WAL tail through the same
+deterministic engine code path, reproducing the crashed service's marginals
+bit for bit.
+
+Fault injection for crash testing: set ``service.fault_hooks["after_wal_append"]``
+to a callable; it runs inside the commit path right after the WAL append and
+before any state mutation.  Raising from it simulates a crash at the
+worst moment — the batch is durable but unapplied.
+"""
+
+from __future__ import annotations
+
+import collections
+import pathlib
+import queue
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.serve.checkpoint import CheckpointInfo, CheckpointManager
+from repro.serve.config import ServeConfig
+from repro.serve.engine import AppFactory, ServeEngine
+from repro.serve.ops import IngestOp
+from repro.serve.snapshot import Snapshot
+from repro.serve.wal import WriteAheadLog
+
+
+class IngestRejected(RuntimeError):
+    """Raised when admission control refuses an operation."""
+
+
+class ServiceFailed(RuntimeError):
+    """Raised when the apply loop has died; wraps the original error."""
+
+
+@dataclass
+class _Command:
+    """One queue item: a data batch or a control request."""
+
+    kind: str                                   # "batch" | "checkpoint" | "stop"
+    batch: tuple[IngestOp, ...] = ()
+    done: threading.Event = field(default_factory=threading.Event)
+    result: object = None
+    error: BaseException | None = None
+
+    def wait(self, timeout: float | None = None) -> object:
+        if not self.done.wait(timeout):
+            raise TimeoutError(f"{self.kind} not applied within {timeout}s")
+        if self.error is not None:
+            raise ServiceFailed(f"apply loop failed: {self.error}") \
+                from self.error
+        return self.result
+
+
+class KBService:
+    """A DeepDive application served online.  See the module docstring."""
+
+    def __init__(self, engine: ServeEngine, directory: str | pathlib.Path,
+                 wal: WriteAheadLog, checkpoints: CheckpointManager,
+                 snapshot: Snapshot, batches_since_checkpoint: int = 0) -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.directory = pathlib.Path(directory)
+        self.wal = wal
+        self.checkpoints = checkpoints
+        self._snapshot = snapshot
+        self._queue: queue.Queue[_Command] = queue.Queue(
+            maxsize=self.config.queue_capacity)
+        # commands pulled during coalescing that must run before new ones
+        self._requeue: collections.deque[_Command] = collections.deque()
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+        self._closed = False
+        self._batches_since_checkpoint = batches_since_checkpoint
+        #: test/chaos hooks run inside the commit path; see module docstring
+        self.fault_hooks: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def create(cls, directory: str | pathlib.Path, app_factory: AppFactory,
+               bootstrap_ops: Sequence[IngestOp],
+               config: ServeConfig | None = None,
+               run_kwargs: dict | None = None,
+               start: bool = True) -> "KBService":
+        """Bootstrap a brand-new service in ``directory``.
+
+        Loads the initial corpus/KB, runs full learning + inference,
+        publishes version 0, and writes the bootstrap checkpoint before
+        accepting any ingest — so recovery never needs to redo bootstrap.
+        """
+        directory = pathlib.Path(directory)
+        config = config if config is not None else ServeConfig()
+        engine = ServeEngine(app_factory, config=config, run_kwargs=run_kwargs)
+        snapshot = engine.bootstrap(list(bootstrap_ops))
+        wal = WriteAheadLog(directory / "ingest.wal", fsync=config.wal_fsync)
+        checkpoints = CheckpointManager(directory / "checkpoints",
+                                        keep=config.keep_checkpoints)
+        checkpoints.save(engine.checkpoint_payload(), lsn=wal.last_lsn)
+        service = cls(engine, directory, wal, checkpoints, snapshot)
+        if start:
+            service.start()
+        return service
+
+    @classmethod
+    def open(cls, directory: str | pathlib.Path, app_factory: AppFactory,
+             config: ServeConfig | None = None,
+             run_kwargs: dict | None = None,
+             start: bool = True) -> "KBService":
+        """Recover a service from ``directory``: newest checkpoint + WAL tail.
+
+        Replayed batches run through the same deterministic engine path the
+        original commits used, so the recovered marginals are bit-identical
+        to what the crashed service had (or would have) published.
+        """
+        directory = pathlib.Path(directory)
+        config = config if config is not None else ServeConfig()
+        checkpoints = CheckpointManager(directory / "checkpoints",
+                                        keep=config.keep_checkpoints)
+        payload = checkpoints.load()
+        engine = ServeEngine.restore(payload, app_factory, config=config,
+                                     run_kwargs=run_kwargs)
+        wal = WriteAheadLog(directory / "ingest.wal", fsync=config.wal_fsync)
+        checkpoint_lsn = int(payload["lsn"])
+        snapshot = engine.current_snapshot(lsn=checkpoint_lsn)
+        replayed = 0
+        with obs.span("serve.recovery", checkpoint_lsn=checkpoint_lsn) as sp:
+            for record in wal.replay(after_lsn=checkpoint_lsn):
+                snapshot = engine.apply_batch(list(record.batch), record.lsn)
+                replayed += 1
+            sp.set(replayed=replayed)
+        service = cls(engine, directory, wal, checkpoints, snapshot,
+                      batches_since_checkpoint=replayed)
+        if start:
+            service.start()
+        return service
+
+    # ---------------------------------------------------------------- ingest
+    def submit(self, op: IngestOp, timeout: float | None = None) -> None:
+        """Queue one operation (coalesced into a batch by the apply loop).
+
+        Applies the configured admission policy when the queue is full:
+        ``"block"`` waits (up to ``timeout``), ``"reject"`` raises
+        immediately.
+        """
+        self._enqueue(_Command("batch", (op,)), timeout)
+
+    def ingest(self, ops: Iterable[IngestOp], wait: bool = True,
+               timeout: float | None = None) -> Snapshot | None:
+        """Queue ``ops`` as one explicit batch (one WAL record, one commit).
+
+        With ``wait=True`` blocks until the batch is applied and returns the
+        snapshot that includes it; otherwise returns None immediately.
+        """
+        command = _Command("batch", tuple(ops))
+        self._enqueue(command, timeout)
+        if wait:
+            return command.wait(timeout)
+        return None
+
+    def _enqueue(self, command: _Command, timeout: float | None) -> None:
+        self._check_alive()
+        try:
+            if self.config.admission == "reject":
+                self._queue.put_nowait(command)
+            else:
+                self._queue.put(command, timeout=timeout)
+        except queue.Full:
+            if obs.enabled():
+                obs.count("serve.ingest.rejected")
+            raise IngestRejected(
+                f"ingest queue full ({self.config.queue_capacity} pending) "
+                f"under {self.config.admission!r} admission") from None
+        if obs.enabled():
+            obs.count("serve.ingest.submitted")
+            obs.gauge("serve.queue.depth", self._queue.qsize())
+
+    def flush(self, timeout: float | None = None) -> Snapshot:
+        """Wait until everything queued so far is applied; returns the
+        snapshot current at that point."""
+        command = _Command("batch", ())          # empty batch = barrier
+        self._enqueue(command, timeout)
+        command.wait(timeout)
+        return self.snapshot()
+
+    def checkpoint(self, timeout: float | None = None) -> CheckpointInfo:
+        """Request a checkpoint from the apply loop and wait for it."""
+        command = _Command("checkpoint")
+        self._enqueue(command, timeout)
+        return command.wait(timeout)
+
+    # ----------------------------------------------------------------- reads
+    def snapshot(self) -> Snapshot:
+        """The current published version (never blocks on ingest)."""
+        started = perf_counter()
+        current = self._snapshot                 # one atomic reference load
+        if obs.enabled():
+            obs.observe("serve.read.seconds", perf_counter() - started)
+            obs.count("serve.reads")
+        return current
+
+    def query(self, relation: str, threshold: float | None = None) -> set:
+        """Accepted tuples of ``relation`` in the current version."""
+        with obs.span("serve.read", relation=relation):
+            return self.snapshot().output_tuples(relation, threshold)
+
+    def marginal(self, key, default: float | None = None) -> float:
+        """One variable's probability in the current version."""
+        return self.snapshot().marginal(key, default)
+
+    # ------------------------------------------------------------ apply loop
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._check_alive()
+        self._thread = threading.Thread(target=self._apply_loop,
+                                        name="repro-serve-apply", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 30.0,
+             checkpoint: bool = False) -> None:
+        """Drain the queue, optionally checkpoint, and stop the loop."""
+        if self._thread is None or not self._thread.is_alive():
+            self._closed = True
+            self.wal.close()
+            return
+        if checkpoint and self._failure is None:
+            self.checkpoint(timeout)
+        command = _Command("stop")
+        self._queue.put(command)
+        command.done.wait(timeout)
+        self._thread.join(timeout)
+        self._closed = True
+        self.wal.close()
+
+    def __enter__(self) -> "KBService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _check_alive(self) -> None:
+        if self._failure is not None:
+            raise ServiceFailed(
+                f"apply loop died: {self._failure}") from self._failure
+        if self._closed:
+            raise ServiceFailed("service is stopped")
+
+    def _apply_loop(self) -> None:
+        while True:
+            if self._requeue:
+                command = self._requeue.popleft()
+            else:
+                command = self._queue.get()
+            if command.kind == "stop":
+                command.done.set()
+                return
+            folded: list[_Command] = []
+            if command.kind == "batch":
+                folded = self._coalesce(command)
+            try:
+                self._commit(command)
+            except BaseException as error:      # simulated crashes included
+                self._failure = error
+                for failed in [command] + folded:
+                    failed.error = error
+                    failed.done.set()
+                self._drain_failed()
+                return
+            for member in folded:                # folded ops share the result
+                member.result = command.result
+                member.done.set()
+            command.done.set()
+            if obs.enabled():
+                obs.gauge("serve.queue.depth", self._queue.qsize())
+
+    def _coalesce(self, command: _Command) -> list[_Command]:
+        """Fold immediately-available single-op batch commands into
+        ``command`` (one WAL record, one commit), up to ``max_batch_ops``.
+        Control commands and explicit multi-op batches stay queued — they
+        commit on their own, in order, on the next loop iterations."""
+        folded: list[_Command] = []
+        while len(command.batch) < self.config.max_batch_ops:
+            try:
+                nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt.kind == "batch" and len(nxt.batch) == 1:
+                command.batch = command.batch + nxt.batch
+                folded.append(nxt)
+            else:
+                # put it back for the next iteration; capacity is free
+                # because this loop is the only consumer
+                self._requeue.append(nxt)
+                break
+        return folded
+
+    def _commit(self, command: _Command) -> None:
+        if command.kind == "checkpoint":
+            command.result = self._do_checkpoint()
+            return
+        if not command.batch:                    # flush barrier
+            return
+        started = perf_counter()
+        with obs.span("serve.commit", ops=len(command.batch)) as sp:
+            lsn = self.wal.append(command.batch)
+            hook = self.fault_hooks.get("after_wal_append")
+            if hook is not None:
+                hook(lsn, command.batch)
+            snapshot = self.engine.apply_batch(list(command.batch), lsn)
+            self._snapshot = snapshot            # the publish: one reference
+            command.result = snapshot
+            sp.set(lsn=lsn, version=snapshot.version)
+        if obs.enabled():
+            obs.observe("serve.commit.seconds", perf_counter() - started)
+            obs.count("serve.ops.applied", len(command.batch))
+        self._batches_since_checkpoint += 1
+        if self.config.checkpoint_every and \
+                self._batches_since_checkpoint >= self.config.checkpoint_every:
+            self._do_checkpoint()
+
+    def _do_checkpoint(self) -> CheckpointInfo:
+        with obs.span("serve.checkpoint", lsn=self.wal.last_lsn):
+            info = self.checkpoints.save(self.engine.checkpoint_payload(),
+                                         lsn=self.wal.last_lsn)
+        self._batches_since_checkpoint = 0
+        return info
+
+    def _drain_failed(self) -> None:
+        """After a loop failure, fail every queued waiter instead of
+        leaving producers blocked forever."""
+        while self._requeue:
+            command = self._requeue.popleft()
+            command.error = self._failure
+            command.done.set()
+        while True:
+            try:
+                command = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            command.error = self._failure
+            command.done.set()

@@ -1,0 +1,78 @@
+"""Immutable published views: what readers see.
+
+The serving layer's consistency model is snapshot isolation with a single
+writer: the apply loop builds the next version off to the side and publishes
+it with one reference assignment, so readers always query a complete,
+internally consistent knowledge base and never block on (or observe) an
+ingest in flight.  A :class:`Snapshot` therefore owns *copies* of everything
+it exposes — marginals, graph statistics, relation cardinalities — and
+nothing that aliases the writer's mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+VariableKey = tuple[str, tuple]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published version of the extracted knowledge base.
+
+    ``version``
+        Monotonic publish counter (bootstrap = 0).
+    ``lsn``
+        The WAL sequence number whose effects this snapshot includes; a
+        recovered service republishes the same (version, lsn) pairs.
+    ``marginals``
+        Variable key -> marginal probability, for every query variable.
+    ``threshold``
+        The acceptance threshold :meth:`output_tuples` applies by default.
+    ``refresh``
+        How this version's marginals were produced: ``"full_run"``,
+        ``"sampling"``, ``"variational"``, or ``"none"`` (no touched
+        variables — previous marginals carried over).
+    """
+
+    version: int
+    lsn: int
+    marginals: Mapping[VariableKey, float]
+    threshold: float
+    refresh: str = "full_run"
+    graph_stats: Mapping[str, int] = field(default_factory=dict)
+    relation_counts: Mapping[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ query API
+    def marginal(self, key: Hashable, default: float | None = None) -> float:
+        """The marginal probability of one variable key."""
+        value = self.marginals.get(key)
+        if value is None:
+            if default is not None:
+                return default
+            raise KeyError(f"no variable {key!r} in snapshot v{self.version}")
+        return value
+
+    def output_tuples(self, relation: str,
+                      threshold: float | None = None) -> set[tuple]:
+        """Accepted tuples of ``relation`` at ``threshold`` (default: the
+        snapshot's own)."""
+        cut = self.threshold if threshold is None else threshold
+        return {values for (name, values), probability in self.marginals.items()
+                if name == relation and probability >= cut}
+
+    def top(self, relation: str, k: int = 10) -> list[tuple[tuple, float]]:
+        """The ``k`` highest-probability tuples of ``relation``."""
+        entries = [(values, probability)
+                   for (name, values), probability in self.marginals.items()
+                   if name == relation]
+        entries.sort(key=lambda item: (-item[1], item[0]))
+        return entries[:k]
+
+    def relations(self) -> list[str]:
+        """Relation names with at least one variable in this snapshot."""
+        return sorted({name for (name, _values) in self.marginals})
+
+    def __len__(self) -> int:
+        return len(self.marginals)

@@ -1,0 +1,151 @@
+"""Append-only write-ahead log of committed ingest batches.
+
+Durability contract: a batch is *committed* the moment its record is fully
+appended (and optionally fsynced) — the apply loop writes the WAL record
+**before** touching any in-memory state, so a crash at any later point
+replays the batch on recovery and lands on the same state.  A crash *during*
+the append leaves a truncated final line, which recovery recognises and
+discards: that batch was never acknowledged, so dropping it is correct.
+
+Format: JSON lines.  Line 1 is a header ``{"repro_wal": 1}``; every other
+line is ``{"lsn": n, "batch": [op records...]}`` with strictly increasing
+log sequence numbers.  Op records are the exact codec of
+:mod:`repro.serve.ops`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import warnings
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.serve.ops import IngestOp, op_from_record
+
+WAL_FORMAT_VERSION = 1
+
+
+class WalError(ValueError):
+    """Raised when the log is structurally corrupt (not merely truncated)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed batch: its sequence number and decoded operations."""
+
+    lsn: int
+    batch: tuple[IngestOp, ...]
+
+
+class WriteAheadLog:
+    """Appender/reader for one service directory's ``ingest.wal``.
+
+    A single writer (the apply loop) appends; any number of recovery-time
+    readers replay.  The file handle is kept open in append mode so each
+    commit is one write + flush (+ fsync when configured).
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._next_lsn = 1
+        existing = self._scan_existing()
+        if existing is not None:
+            self._next_lsn = existing + 1
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as stream:
+                json.dump({"repro_wal": WAL_FORMAT_VERSION}, stream)
+                stream.write("\n")
+        self._stream = open(self.path, "a", encoding="utf-8")
+
+    def _scan_existing(self) -> int | None:
+        """Return the last committed LSN of an existing log, else None."""
+        if not self.path.exists():
+            return None
+        last = 0
+        for record in self.replay():
+            last = record.lsn
+        return last
+
+    # --------------------------------------------------------------- writing
+    def append(self, batch: Iterable[IngestOp]) -> int:
+        """Durably append one batch; returns its LSN.
+
+        The record only counts as committed once fully on disk — callers
+        must append before mutating any state the batch affects.
+        """
+        lsn = self._next_lsn
+        record = {"lsn": lsn, "batch": [op.to_record() for op in batch]}
+        self._stream.write(json.dumps(record) + "\n")
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+        self._next_lsn = lsn + 1
+        return lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The most recently committed LSN (0 if the log is empty)."""
+        return self._next_lsn - 1
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    # --------------------------------------------------------------- reading
+    def replay(self, after_lsn: int = 0) -> list[WalRecord]:
+        """Decode every committed record with ``lsn > after_lsn``, in order.
+
+        A truncated (crash-interrupted) final line is discarded with a
+        warning; corruption anywhere *before* the final line raises
+        :class:`WalError` — that indicates real damage, not a torn append.
+        """
+        records: list[WalRecord] = []
+        with open(self.path, encoding="utf-8") as stream:
+            lines = stream.read().splitlines()
+        if not lines:
+            raise WalError(f"{self.path} has no header line")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise WalError(f"{self.path} header is not JSON: {error}") from None
+        if header.get("repro_wal") != WAL_FORMAT_VERSION:
+            raise WalError(
+                f"unsupported WAL format {header.get('repro_wal')!r} in "
+                f"{self.path}; this build reads version {WAL_FORMAT_VERSION}")
+        previous_lsn = 0
+        for line_number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                record = WalRecord(
+                    lsn=int(raw["lsn"]),
+                    batch=tuple(op_from_record(op) for op in raw["batch"]))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                if line_number == len(lines):
+                    warnings.warn(
+                        f"discarding truncated tail record at "
+                        f"{self.path}:{line_number} (crash during append; "
+                        f"the batch was never committed)")
+                    break
+                raise WalError(f"corrupt WAL record at "
+                               f"{self.path}:{line_number}") from None
+            if record.lsn != previous_lsn + 1:
+                raise WalError(
+                    f"non-contiguous LSN {record.lsn} after {previous_lsn} "
+                    f"at {self.path}:{line_number}")
+            previous_lsn = record.lsn
+            if record.lsn > after_lsn:
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

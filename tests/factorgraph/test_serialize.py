@@ -72,11 +72,71 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="version"):
             from_dict(data)
 
+
+class TestFormatVersions:
+    """Forward/backward compatibility of the versioned payload."""
+
+    def test_current_version_is_2(self):
+        from repro.factorgraph import serialize
+        assert serialize.FORMAT_VERSION == 2
+        assert to_dict(sample_graph())["version"] == 2
+
+    def test_v1_payload_still_loads(self):
+        """Archives written before stable ids keep loading (compacted ids)."""
+        graph = sample_graph()
+        data = to_dict(graph)
+        data["version"] = 1
+        for weight in data["weights"]:
+            del weight["observations"]
+        restored = from_dict(data)
+        assert signature(restored) == signature(graph)
+
+    @pytest.mark.parametrize("version", [0, 3, 999, "2", None])
+    def test_unknown_version_rejected_with_clear_error(self, version):
+        from repro.factorgraph.serialize import SerializationError
+        data = to_dict(sample_graph())
+        data["version"] = version
+        with pytest.raises(SerializationError) as excinfo:
+            from_dict(data)
+        message = str(excinfo.value)
+        assert repr(version) in message
+        assert "(1, 2)" in message          # the supported versions are named
+
+    def test_missing_version_rejected(self):
+        data = to_dict(sample_graph())
+        del data["version"]
+        with pytest.raises(ValueError, match="unsupported factor-graph"):
+            from_dict(data)
+
+    def test_forward_compat_never_misparses(self):
+        """A plausible future payload (extra fields, new version) is refused
+        outright rather than half-parsed."""
+        data = to_dict(sample_graph())
+        data["version"] = 3
+        data["variables"][0]["domain"] = ["a", "b", "c"]   # hypothetical v3 field
+        with pytest.raises(ValueError, match="newer"):
+            from_dict(data)
+
     def test_unserializable_key_rejected(self):
         graph = FactorGraph()
         graph.variable(object())
         with pytest.raises(TypeError):
             to_dict(graph)
+
+    def test_ids_survive_removal_gaps(self):
+        """v2 payloads restore the exact id space, including gaps."""
+        graph = sample_graph()
+        extra = graph.variable("doomed")
+        w = graph.weight("doomed_w", 0.5)
+        fid = graph.add_factor(FactorFunction.IS_TRUE, [extra], w)
+        graph.remove_factor(fid)
+        graph.remove_variable("doomed")
+        restored = from_dict(to_dict(graph))
+        assert sorted(restored.variables) == sorted(graph.variables)
+        assert sorted(restored.factors) == sorted(graph.factors)
+        assert sorted(restored.weights) == sorted(graph.weights)
+        # fresh insertions continue from the original counters, not the gaps
+        assert restored.variable("fresh") == graph.variable("fresh")
 
     def test_compiled_equivalence(self):
         """The restored graph samples identically to the original."""

@@ -1,0 +1,89 @@
+"""Shared fixtures for the serving-layer tests.
+
+One small but complete KBC application (mention extraction, a learned
+feature rule, distant supervision from good/bad token lists) is used across
+the suite.  ``make_app_factory`` matches the :data:`repro.serve.AppFactory`
+contract: it builds a *fresh, empty* app each call, with any accumulated
+rule deltas appended to the program.
+"""
+
+import pytest
+
+from repro import DeepDive, Document
+from repro.inference import LearningOptions
+from repro.serve import ServeConfig, add_documents, add_rows
+
+PROGRAM = """
+Content(s text, content text).
+NameMention(s text, m text, token text, position int).
+GoodName?(m text).
+GoodList(token text).
+BadList(token text).
+
+GoodName(m) :-
+    NameMention(s, m, t, p), Content(s, content)
+    weight = name_features(t, content).
+
+GoodName_Ev(m, true) :- NameMention(s, m, t, p), GoodList(t).
+GoodName_Ev(m, false) :- NameMention(s, m, t, p), BadList(t).
+"""
+
+GOOD = ["apple", "plum", "pear", "fig", "grape", "melon"]
+BAD = ["rust", "mold", "rot", "slime", "blight", "decay"]
+
+
+def extractor(sentence):
+    rows = []
+    for position, token in enumerate(sentence.tokens):
+        lower = token.lower()
+        if lower in GOOD + BAD:
+            rows.append((sentence.key, f"{sentence.key}:{position}",
+                         lower, position))
+    return rows
+
+
+def make_app_factory(seed=0):
+    def app_factory(extra_rules=""):
+        source = PROGRAM + ("\n" + extra_rules if extra_rules else "")
+        app = DeepDive(source, seed=seed)
+        app.register_udf("name_features",
+                         lambda t, content: [f"word:{t}",
+                                             "fresh" if t in GOOD else "spoiled"])
+        app.add_extractor("NameMention", extractor)
+        app.add_extractor("Content", lambda s: [(s.key, s.text)])
+        return app
+    return app_factory
+
+
+def bootstrap_ops():
+    docs = [Document(f"d{i}", f"the {g} and the {b} sat there .")
+            for i, (g, b) in enumerate(zip(GOOD[:4], BAD[:4]))]
+    return [
+        add_documents(docs),
+        add_rows("GoodList", [(g,) for g in GOOD[:3]]),
+        add_rows("BadList", [(b,) for b in BAD[:3]]),
+    ]
+
+
+def keys_for_token(app, token):
+    """GoodName variable keys whose mention carries ``token``."""
+    return [("GoodName", (m,))
+            for (_s, m, t, _p) in app.db["NameMention"].distinct_rows()
+            if t == token]
+
+
+RUN_KWARGS = dict(threshold=0.7,
+                  learning=LearningOptions(epochs=40, seed=0),
+                  num_samples=120, burn_in=20)
+
+
+@pytest.fixture
+def app_factory():
+    return make_app_factory()
+
+
+@pytest.fixture
+def fast_config():
+    """A service config tuned for tests: small batches, cheap refreshes."""
+    return ServeConfig(checkpoint_every=0, refresh_samples=40,
+                       refresh_burn_in=10)

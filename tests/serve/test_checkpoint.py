@@ -1,0 +1,80 @@
+"""Checkpoint manager: atomic saves, retention, and format validation."""
+
+import json
+
+import pytest
+
+from repro.serve import (CHECKPOINT_FORMAT_VERSION, CheckpointError,
+                         CheckpointManager)
+
+
+def payload(tag):
+    return {"engine_version": tag, "threshold": 0.9, "rule_deltas": [],
+            "database": {}, "graph": {}, "grounder": {}, "state": {}}
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(payload(0), lsn=3)
+        assert info.lsn == 3
+        loaded = manager.load()
+        assert loaded["engine_version"] == 0
+        assert loaded["lsn"] == 3
+        assert loaded["format"] == CHECKPOINT_FORMAT_VERSION
+
+    def test_latest_picks_highest_lsn(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        for lsn in (1, 7, 4):
+            manager.save(payload(lsn), lsn=lsn)
+        assert manager.latest().lsn == 7
+        assert [info.lsn for info in manager.list()] == [1, 4, 7]
+
+    def test_no_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            CheckpointManager(tmp_path).load()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(payload(0), lsn=1)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRetention:
+    def test_prunes_beyond_keep(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for lsn in range(1, 6):
+            manager.save(payload(lsn), lsn=lsn)
+        assert [info.lsn for info in manager.list()] == [4, 5]
+
+    def test_prune_never_removes_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save(payload(0), lsn=9)
+        assert manager.latest().lsn == 9
+
+
+class TestValidation:
+    def test_unknown_format_version_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(payload(0), lsn=1)
+        document = json.loads(info.path.read_text())
+        document["format"] = CHECKPOINT_FORMAT_VERSION + 1
+        info.path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="unsupported checkpoint"):
+            manager.load()
+
+    def test_lsn_mismatch_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(payload(0), lsn=2)
+        document = json.loads(info.path.read_text())
+        document["lsn"] = 5
+        info.path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="claims lsn 5"):
+            manager.load()
+
+    def test_unreadable_json_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        info = manager.save(payload(0), lsn=1)
+        info.path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            manager.load()

@@ -1,0 +1,201 @@
+"""KBService: the queue, the apply loop, and concurrent readers."""
+
+import threading
+import types
+
+import pytest
+
+from repro import obs
+from repro.serve import (IngestRejected, KBService, ServeConfig,
+                         Snapshot, WriteAheadLog, add_documents, add_rows)
+from repro.serve.checkpoint import CheckpointManager
+from tests.serve.conftest import RUN_KWARGS, bootstrap_ops, make_app_factory
+
+
+def live_service(tmp_path, **config_changes):
+    options = dict(checkpoint_every=0, refresh_samples=40, refresh_burn_in=10)
+    options.update(config_changes)
+    return KBService.create(tmp_path / "svc", make_app_factory(),
+                            bootstrap_ops(), config=ServeConfig(**options),
+                            run_kwargs=RUN_KWARGS)
+
+
+def stub_service(tmp_path, **config_changes):
+    """Queue mechanics without a real engine (the loop is never started)."""
+    config = ServeConfig(**config_changes)
+    engine = types.SimpleNamespace(config=config)
+    snapshot = Snapshot(version=0, lsn=0, marginals={}, threshold=0.9)
+    return KBService(engine, tmp_path,
+                     WriteAheadLog(tmp_path / "ingest.wal"),
+                     CheckpointManager(tmp_path / "checkpoints"), snapshot)
+
+
+class TestIngestPath:
+    def test_ingest_and_query(self, tmp_path):
+        with live_service(tmp_path) as service:
+            v0 = service.snapshot()
+            after = service.ingest(
+                [add_documents([("n0", "the grape sat there .")])], wait=True)
+            assert after.version == v0.version + 1
+            assert service.snapshot().version == after.version
+            assert service.query("GoodName", threshold=0.0) \
+                >= v0.output_tuples("GoodName", threshold=0.0)
+
+    def test_submit_coalesces_and_flush_applies_all(self, tmp_path):
+        with live_service(tmp_path, max_batch_ops=8) as service:
+            for i, token in enumerate(("grape", "melon")):
+                service.submit(add_documents(
+                    [(f"n{i}", f"the {token} sat there .")]))
+            snapshot = service.flush()
+            assert snapshot.relation_counts["Content"] == 4 + 2
+            # coalescing commits fewer batches than ops when the queue backs
+            # up, never more
+            assert snapshot.version <= 2 + 1
+
+    def test_explicit_batch_is_one_commit(self, tmp_path):
+        with live_service(tmp_path) as service:
+            before = service.snapshot().version
+            after = service.ingest(
+                [add_documents([("n0", "the grape sat there .")]),
+                 add_rows("GoodList", [("grape",)])], wait=True)
+            assert after.version == before + 1   # one batch, one version
+
+    def test_requested_checkpoint_lands_on_disk(self, tmp_path):
+        with live_service(tmp_path) as service:
+            service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
+            info = service.checkpoint()
+            assert info.path.exists()
+            assert info.lsn == service.wal.last_lsn
+
+    def test_periodic_checkpoint_cadence(self, tmp_path):
+        with live_service(tmp_path, checkpoint_every=1,
+                          keep_checkpoints=8) as service:
+            for i in range(3):
+                service.ingest([add_rows("GoodList", [(f"tok{i}",)])],
+                               wait=True)
+            service.flush()
+            lsns = [info.lsn for info in service.checkpoints.list()]
+        assert lsns == [0, 1, 2, 3]              # bootstrap + one per batch
+
+
+class TestAdmissionControl:
+    def test_reject_policy_fails_fast(self, tmp_path):
+        service = stub_service(tmp_path, queue_capacity=2, admission="reject")
+        op = add_rows("GoodList", [("x",)])
+        service.submit(op)
+        service.submit(op)
+        with pytest.raises(IngestRejected, match="queue full"):
+            service.submit(op)
+        service.stop()
+
+    def test_block_policy_times_out(self, tmp_path):
+        service = stub_service(tmp_path, queue_capacity=1, admission="block")
+        op = add_rows("GoodList", [("x",)])
+        service.submit(op)
+        with pytest.raises(IngestRejected):
+            service.submit(op, timeout=0.05)
+        service.stop()
+
+    def test_queue_drains_once_loop_runs(self, tmp_path):
+        with live_service(tmp_path, queue_capacity=4,
+                          admission="reject") as service:
+            for i in range(3):
+                service.submit(add_rows("GoodList", [(f"t{i}",)]))
+            snapshot = service.flush()
+            assert snapshot.relation_counts["GoodList"] == 3 + 3
+
+
+class TestConcurrentReads:
+    def test_readers_never_block_and_see_consistent_versions(self, tmp_path):
+        with live_service(tmp_path) as service:
+            stop = threading.Event()
+            failures: list[str] = []
+            reads = [0, 0, 0]
+
+            def reader(slot):
+                last_version = -1
+                while not stop.is_set():
+                    snapshot = service.snapshot()
+                    if snapshot.version < last_version:
+                        failures.append(
+                            f"version went backwards: {snapshot.version} "
+                            f"after {last_version}")
+                    last_version = snapshot.version
+                    # a snapshot is internally consistent: its marginals
+                    # never change after publication
+                    if len(snapshot) != len(dict(snapshot.marginals)):
+                        failures.append("snapshot mutated underneath reader")
+                    service.query("GoodName")
+                    reads[slot] += 1
+
+            threads = [threading.Thread(target=reader, args=(slot,))
+                       for slot in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                for i, token in enumerate(("grape", "melon", "decay")):
+                    service.ingest(
+                        [add_documents([(f"n{i}", f"the {token} sat there .")])],
+                        wait=True)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert not failures
+            # readers made progress *while* batches were applying
+            assert all(count > 0 for count in reads)
+            assert service.snapshot().version == 3
+
+    def test_snapshot_is_immutable_across_ingest(self, tmp_path):
+        with live_service(tmp_path) as service:
+            held = service.snapshot()
+            before = dict(held.marginals)
+            service.ingest(
+                [add_documents([("n0", "the grape sat there .")])], wait=True)
+            assert dict(held.marginals) == before
+            assert service.snapshot().version == held.version + 1
+
+
+class TestObservability:
+    def test_read_and_ingest_metrics_recorded(self, tmp_path):
+        collector = obs.Collector()
+        with obs.installed(collector):
+            with live_service(tmp_path) as service:
+                service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
+                service.query("GoodName")
+                service.snapshot()
+        metrics = collector.metrics
+        assert metrics.counter_total("serve.reads") >= 2
+        assert metrics.counter_total("serve.ops.applied") == 1
+        assert metrics.histogram("serve.read.seconds").count >= 2
+        names = {span.name for root in collector.roots
+                 for span in root.walk()}
+        assert "serve.bootstrap" in names
+        assert "serve.commit" in names
+
+    def test_reader_spans_from_other_threads(self, tmp_path):
+        collector = obs.Collector()
+        with obs.installed(collector):
+            with live_service(tmp_path) as service:
+                worker = threading.Thread(
+                    target=lambda: service.query("GoodName"))
+                worker.start()
+                worker.join()
+        names = {span.name for root in collector.roots
+                 for span in root.walk()}
+        assert "serve.read" in names
+
+
+class TestLifecycle:
+    def test_stopped_service_refuses_work(self, tmp_path):
+        service = live_service(tmp_path)
+        service.stop()
+        from repro.serve import ServiceFailed
+        with pytest.raises(ServiceFailed, match="stopped"):
+            service.submit(add_rows("GoodList", [("x",)]))
+
+    def test_stop_with_checkpoint(self, tmp_path):
+        service = live_service(tmp_path)
+        service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
+        service.stop(checkpoint=True)
+        assert service.checkpoints.latest().lsn == 1

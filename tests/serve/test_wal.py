@@ -1,0 +1,129 @@
+"""Write-ahead log: append/replay round-trips and corruption handling."""
+
+import json
+
+import pytest
+
+from repro.serve import (AddRules, WalError, WriteAheadLog, add_documents,
+                         add_rows, remove_rows)
+from repro.serve.ops import (OpError, RemoveDocuments, op_from_record)
+
+
+def sample_batch():
+    return (add_documents([("d1", "the apple sat there .")]),
+            add_rows("GoodList", [("apple",)]))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            assert wal.append(sample_batch()) == 1
+            assert wal.append((remove_rows("GoodList", [("apple",)]),)) == 2
+            records = wal.replay()
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[0].batch == sample_batch()
+        assert records[1].batch[0].rows == (("apple",),)
+
+    def test_replay_after_lsn(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            for _ in range(4):
+                wal.append(sample_batch())
+            assert [r.lsn for r in wal.replay(after_lsn=2)] == [3, 4]
+
+    def test_lsn_resumes_across_reopen(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        with WriteAheadLog(path) as wal:
+            assert wal.last_lsn == 2
+            assert wal.append(sample_batch()) == 3
+            assert len(wal.replay()) == 3
+
+    def test_empty_log(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            assert wal.last_lsn == 0
+            assert wal.replay() == []
+
+    def test_all_op_kinds_round_trip(self, tmp_path):
+        batch = (add_documents([("d1", "text .")]),
+                 RemoveDocuments(("d0",)),
+                 add_rows("GoodList", [("apple", 3), (None, True)]),
+                 remove_rows("BadList", [("rust",)]),
+                 AddRules("Extra(x text)."))
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            wal.append(batch)
+            assert wal.replay()[0].batch == batch
+
+    def test_nested_tuple_rows_round_trip(self, tmp_path):
+        batch = (add_rows("KB", [(("s1", ("a", "b")), 1)]),)
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            wal.append(batch)
+            restored = wal.replay()[0].batch[0]
+        assert restored.rows == ((("s1", ("a", "b")), 1),)
+
+
+class TestCorruption:
+    def test_truncated_tail_discarded_with_warning(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        # simulate a crash mid-append: chop the final record in half
+        text = path.read_text()
+        path.write_text(text[:len(text) - 20])
+        with pytest.warns(UserWarning, match="truncated tail"):
+            records = WriteAheadLog(path).replay()
+        assert [r.lsn for r in records] == [1]
+
+    def test_truncated_tail_reopen_resumes_before_it(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        text = path.read_text()
+        path.write_text(text[:len(text) - 20])
+        with pytest.warns(UserWarning):
+            wal = WriteAheadLog(path)
+        # the torn lsn-2 append was never committed, so 2 is reused
+        assert wal.append(sample_batch()) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]                 # damage a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="corrupt WAL record"):
+            WriteAheadLog(path)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        path.write_text('{"something_else": true}\n')
+        with pytest.raises(WalError, match="unsupported WAL format"):
+            WriteAheadLog(path)
+
+    def test_non_contiguous_lsn_raises(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps({"lsn": 5, "batch": []}) + "\n")
+        with pytest.raises(WalError, match="non-contiguous"):
+            WriteAheadLog(path)
+
+    def test_fsync_mode_appends(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ingest.wal", fsync=True) as wal:
+            assert wal.append(sample_batch()) == 1
+
+
+class TestOpRecords:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(OpError, match="unknown ingest op kind 'explode'"):
+            op_from_record({"op": "explode"})
+
+    def test_record_is_json_compatible(self):
+        for op in sample_batch():
+            assert json.loads(json.dumps(op.to_record())) == op.to_record()
