@@ -15,10 +15,14 @@ three things a service needs that a batch pipeline doesn't:
   producers (backpressure) or rejects with :class:`IngestRejected`.
 
 Durability is checkpoint + WAL: a checkpoint is taken at bootstrap, every
-``checkpoint_every`` batches, and on request; recovery (:meth:`KBService.open`)
-loads the newest checkpoint and replays the WAL tail through the same
-deterministic engine code path, reproducing the crashed service's marginals
-bit for bit.
+``checkpoint_every`` batches, and on request; each successful checkpoint
+compacts the WAL down to its uncovered tail, so recovery and reopen cost is
+bounded by the tail, not total ingest history.  Periodic checkpoints run
+*after* the triggering batch's waiters are released — the batch is already
+committed, so a checkpoint failure is warned about and retried, never
+reported as a batch failure.  Recovery (:meth:`KBService.open`) loads the
+newest checkpoint and replays the WAL tail through the same deterministic
+engine code path, reproducing the crashed service's marginals bit for bit.
 
 Fault injection for crash testing: set ``service.fault_hooks["after_wal_append"]``
 to a callable; it runs inside the commit path right after the WAL append and
@@ -32,6 +36,7 @@ import collections
 import pathlib
 import queue
 import threading
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Iterable, Sequence
@@ -55,9 +60,9 @@ class ServiceFailed(RuntimeError):
 
 @dataclass
 class _Command:
-    """One queue item: a data batch or a control request."""
+    """One queue item: a data batch or a checkpoint request."""
 
-    kind: str                                   # "batch" | "checkpoint" | "stop"
+    kind: str                                   # "batch" | "checkpoint"
     batch: tuple[IngestOp, ...] = ()
     done: threading.Event = field(default_factory=threading.Event)
     result: object = None
@@ -91,6 +96,9 @@ class KBService:
         self._thread: threading.Thread | None = None
         self._failure: BaseException | None = None
         self._closed = False
+        # stop is signalled out-of-band (the loop polls this), never through
+        # the bounded queue — a full queue cannot wedge shutdown
+        self._stop_event = threading.Event()
         self._batches_since_checkpoint = batches_since_checkpoint
         #: test/chaos hooks run inside the commit path; see module docstring
         self.fault_hooks: dict[str, Callable] = {}
@@ -190,6 +198,17 @@ class KBService:
             raise IngestRejected(
                 f"ingest queue full ({self.config.queue_capacity} pending) "
                 f"under {self.config.admission!r} admission") from None
+        # the loop may have died — and drained the queue — between the
+        # liveness check above and the put; in that window our command
+        # would never be completed, so re-check and fail it ourselves
+        # (queue operations are locked, so a concurrent drain is safe)
+        if self._failure is not None:
+            self._drain_failed()
+            self._check_alive()
+        elif self._closed and \
+                (self._thread is None or not self._thread.is_alive()):
+            self._drain_failed(ServiceFailed("service is stopped"))
+            self._check_alive()
         if obs.enabled():
             obs.count("serve.ingest.submitted")
             obs.gauge("serve.queue.depth", self._queue.qsize())
@@ -238,18 +257,24 @@ class KBService:
 
     def stop(self, timeout: float | None = 30.0,
              checkpoint: bool = False) -> None:
-        """Drain the queue, optionally checkpoint, and stop the loop."""
-        if self._thread is None or not self._thread.is_alive():
-            self._closed = True
-            self.wal.close()
-            return
-        if checkpoint and self._failure is None:
+        """Drain the queue, optionally checkpoint, and stop the loop.
+
+        Shutdown is requested out-of-band (an event the loop polls between
+        queue reads), never by enqueueing through the bounded queue — so a
+        full queue with blocked producers can never wedge the stop call
+        itself.  The loop keeps committing until the queue is empty, then
+        exits; anything that raced in after it exited has its waiter
+        failed rather than stranded.
+        """
+        loop_alive = self._thread is not None and self._thread.is_alive()
+        if checkpoint and loop_alive and self._failure is None:
             self.checkpoint(timeout)
-        command = _Command("stop")
-        self._queue.put(command)
-        command.done.wait(timeout)
-        self._thread.join(timeout)
-        self._closed = True
+        self._closed = True                     # new work is refused now
+        self._stop_event.set()
+        if loop_alive:
+            self._thread.join(timeout)
+        self._drain_failed(self._failure if self._failure is not None
+                           else ServiceFailed("service is stopped"))
         self.wal.close()
 
     def __enter__(self) -> "KBService":
@@ -267,12 +292,8 @@ class KBService:
 
     def _apply_loop(self) -> None:
         while True:
-            if self._requeue:
-                command = self._requeue.popleft()
-            else:
-                command = self._queue.get()
-            if command.kind == "stop":
-                command.done.set()
+            command = self._next_command()
+            if command is None:                  # stop requested, queue dry
                 return
             folded: list[_Command] = []
             if command.kind == "batch":
@@ -280,6 +301,13 @@ class KBService:
             try:
                 self._commit(command)
             except BaseException as error:      # simulated crashes included
+                if command.kind == "checkpoint":
+                    # a failed checkpoint save leaves the previous
+                    # checkpoint and all serving state intact: fail the
+                    # requester, keep serving
+                    command.error = error
+                    command.done.set()
+                    continue
                 self._failure = error
                 for failed in [command] + folded:
                     failed.error = error
@@ -290,8 +318,25 @@ class KBService:
                 member.result = command.result
                 member.done.set()
             command.done.set()
+            if command.kind == "batch" and command.batch:
+                self._maybe_periodic_checkpoint()
             if obs.enabled():
                 obs.gauge("serve.queue.depth", self._queue.qsize())
+
+    def _next_command(self) -> _Command | None:
+        """The next command to run, or None once a stop has been requested
+        and the queue is fully drained."""
+        while True:
+            if self._requeue:
+                try:
+                    return self._requeue.popleft()
+                except IndexError:               # raced with a drain
+                    pass
+            try:
+                return self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return None
 
     def _coalesce(self, command: _Command) -> list[_Command]:
         """Fold immediately-available single-op batch commands into
@@ -334,28 +379,55 @@ class KBService:
             obs.observe("serve.commit.seconds", perf_counter() - started)
             obs.count("serve.ops.applied", len(command.batch))
         self._batches_since_checkpoint += 1
-        if self.config.checkpoint_every and \
-                self._batches_since_checkpoint >= self.config.checkpoint_every:
+
+    def _maybe_periodic_checkpoint(self) -> None:
+        """Periodic checkpoint cadence, run *after* the batch's waiters are
+        released: the batch is already WAL-committed, applied, and
+        published, so a checkpoint failure must never surface as a batch
+        failure (that would invite a duplicate retry of a committed
+        batch).  It is warned about and retried after the next batch."""
+        if not self.config.checkpoint_every:
+            return
+        if self._batches_since_checkpoint < self.config.checkpoint_every:
+            return
+        try:
             self._do_checkpoint()
+        except Exception as error:
+            if obs.enabled():
+                obs.count("serve.checkpoint.failed")
+            warnings.warn(
+                f"periodic checkpoint failed ({error!r}); serving "
+                f"continues and the checkpoint is retried after the next "
+                f"batch")
 
     def _do_checkpoint(self) -> CheckpointInfo:
         with obs.span("serve.checkpoint", lsn=self.wal.last_lsn):
             info = self.checkpoints.save(self.engine.checkpoint_payload(),
                                          lsn=self.wal.last_lsn)
+            # records the checkpoint covers will never replay again; drop
+            # them so open/recovery cost stays bounded by the WAL tail
+            self.wal.compact(info.lsn)
         self._batches_since_checkpoint = 0
         return info
 
-    def _drain_failed(self) -> None:
-        """After a loop failure, fail every queued waiter instead of
-        leaving producers blocked forever."""
-        while self._requeue:
-            command = self._requeue.popleft()
-            command.error = self._failure
+    def _drain_failed(self, error: BaseException | None = None) -> None:
+        """Fail every queued waiter instead of leaving producers blocked
+        forever.  Called from the apply loop after a failure, and from
+        producers/stop when they lose a race with the loop's death — the
+        queue and deque operations are locked, so concurrent drains are
+        safe."""
+        error = error if error is not None else self._failure
+        while True:
+            try:
+                command = self._requeue.popleft()
+            except IndexError:
+                break
+            command.error = error
             command.done.set()
         while True:
             try:
                 command = self._queue.get_nowait()
             except queue.Empty:
                 return
-            command.error = self._failure
+            command.error = error
             command.done.set()

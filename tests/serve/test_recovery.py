@@ -6,6 +6,8 @@ the in-memory apply must not lose it — recovery replays it and lands on
 marginals bit-identical to a service that never crashed.
 """
 
+import warnings
+
 import pytest
 
 from repro.serve import (KBService, ServeConfig, ServiceFailed, add_documents,
@@ -116,6 +118,43 @@ def test_torn_apply_replays_the_durable_batch(tmp_path):
         for key, probability in acknowledged.marginals.items():
             assert key in snapshot.marginals
         assert snapshot.version >= acknowledged.version
+
+
+def test_recovery_after_torn_wal_append(tmp_path):
+    """A crash *during* the WAL append leaves a torn final line: recovery
+    drops that unacknowledged batch, physically repairs the log, and the
+    service keeps committing to it — later restarts read a clean log."""
+    config = make_config()
+    service = KBService.create(tmp_path / "svc", make_app_factory(),
+                               bootstrap_ops(), config=config,
+                               run_kwargs=RUN_KWARGS)
+    service.ingest(BATCHES[0], wait=True)
+    service.ingest(BATCHES[1], wait=True)
+    service.stop()
+    wal_path = tmp_path / "svc" / "ingest.wal"
+    text = wal_path.read_text()
+    wal_path.write_text(text[:len(text) - 15])   # tear the lsn-2 record
+
+    with pytest.warns(UserWarning, match="truncated tail"):
+        recovered = KBService.open(tmp_path / "svc", make_app_factory(),
+                                   config=config, run_kwargs=RUN_KWARGS)
+    with recovered:
+        assert recovered.snapshot().lsn == 1     # the torn batch is gone
+        # the client retries the unacknowledged batch; it lands at lsn 2
+        after = recovered.ingest(BATCHES[1], wait=True)
+        assert after.lsn == 2
+
+    # the repaired log is fully clean: a third open replays both records
+    # without any truncation warning and lands on identical marginals
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        reopened = KBService.open(tmp_path / "svc", make_app_factory(),
+                                  config=config, run_kwargs=RUN_KWARGS)
+    assert not [w for w in caught if "truncated tail" in str(w.message)]
+    with reopened:
+        snapshot = reopened.snapshot()
+        assert snapshot.lsn == 2
+        assert dict(snapshot.marginals) == dict(after.marginals)
 
 
 def test_recovery_without_wal_tail(tmp_path):

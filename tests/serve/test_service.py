@@ -1,12 +1,14 @@
 """KBService: the queue, the apply loop, and concurrent readers."""
 
+import queue
 import threading
+import time
 import types
 
 import pytest
 
 from repro import obs
-from repro.serve import (IngestRejected, KBService, ServeConfig,
+from repro.serve import (IngestRejected, KBService, ServeConfig, ServiceFailed,
                          Snapshot, WriteAheadLog, add_documents, add_rows)
 from repro.serve.checkpoint import CheckpointManager
 from tests.serve.conftest import RUN_KWARGS, bootstrap_ops, make_app_factory
@@ -77,6 +79,18 @@ class TestIngestPath:
             lsns = [info.lsn for info in service.checkpoints.list()]
         assert lsns == [0, 1, 2, 3]              # bootstrap + one per batch
 
+    def test_checkpoint_compacts_the_wal(self, tmp_path):
+        with live_service(tmp_path, checkpoint_every=1) as service:
+            for i in range(3):
+                service.ingest([add_rows("GoodList", [(f"tok{i}",)])],
+                               wait=True)
+            service.flush()
+            # every committed batch is covered by a checkpoint, so the WAL
+            # holds no records — reopen/recovery cost is the tail only
+            assert service.wal.replay() == []
+            assert service.wal.base_lsn == 3
+            assert service.wal.last_lsn == 3
+
 
 class TestAdmissionControl:
     def test_reject_policy_fails_fast(self, tmp_path):
@@ -103,6 +117,73 @@ class TestAdmissionControl:
                 service.submit(add_rows("GoodList", [(f"t{i}",)]))
             snapshot = service.flush()
             assert snapshot.relation_counts["GoodList"] == 3 + 3
+
+
+class TestCheckpointFailureIsolation:
+    def test_periodic_checkpoint_failure_does_not_fail_the_batch(
+            self, tmp_path):
+        # the batch is WAL-committed, applied, and published before the
+        # periodic checkpoint runs: a failing save must not turn into a
+        # ServiceFailed for the waiter (inviting a duplicate retry of a
+        # committed batch) and must not kill the loop
+        with live_service(tmp_path, checkpoint_every=1) as service:
+            real_save = service.checkpoints.save
+            calls = []
+
+            def flaky_save(payload, lsn):
+                calls.append(lsn)
+                if len(calls) == 1:
+                    raise OSError("disk full")
+                return real_save(payload, lsn)
+
+            service.checkpoints.save = flaky_save
+            with pytest.warns(UserWarning, match="periodic checkpoint "
+                                                 "failed"):
+                snapshot = service.ingest(
+                    [add_rows("GoodList", [("fig",)])], wait=True)
+                service.flush()
+            assert snapshot.version == 1         # the batch succeeded
+            after = service.ingest([add_rows("GoodList", [("lime",)])],
+                                   wait=True)
+            assert after.version == 2            # the loop is still alive
+            service.flush()
+            assert calls == [1, 2]               # retried after next batch
+            assert service.checkpoints.latest().lsn == 2
+
+    def test_explicit_checkpoint_failure_keeps_serving(self, tmp_path):
+        with live_service(tmp_path) as service:
+            def broken_save(payload, lsn):
+                raise OSError("disk full")
+
+            service.checkpoints.save = broken_save
+            with pytest.raises(ServiceFailed, match="disk full"):
+                service.checkpoint()
+            del service.checkpoints.save
+            # a failed checkpoint leaves state intact; serving continues
+            after = service.ingest([add_rows("GoodList", [("fig",)])],
+                                   wait=True)
+            assert after.version == 1
+
+
+class TestEnqueueFailureRace:
+    def test_enqueue_after_concurrent_loop_death_fails_fast(self, tmp_path):
+        # the loop can fail (and drain the queue) between _check_alive and
+        # the put; the producer must notice and fail, not wait forever
+        service = stub_service(tmp_path)
+        boom = RuntimeError("injected loop death")
+
+        class RacyQueue(queue.Queue):
+            def put(self, item, block=True, timeout=None):
+                super().put(item, block, timeout)
+                if service._failure is None:     # the loop dies right here
+                    service._failure = boom
+                    service._drain_failed()
+
+        service._queue = RacyQueue(maxsize=service.config.queue_capacity)
+        with pytest.raises(ServiceFailed, match="injected loop death"):
+            service.ingest([add_rows("GoodList", [("x",)])], wait=True,
+                           timeout=2)
+        service.stop()
 
 
 class TestConcurrentReads:
@@ -199,3 +280,31 @@ class TestLifecycle:
         service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
         service.stop(checkpoint=True)
         assert service.checkpoints.latest().lsn == 1
+
+    def test_stop_does_not_wait_for_queue_capacity(self, tmp_path):
+        # stop is signalled out-of-band: with the queue full and a producer
+        # blocked on admission, the stop call must neither hang behind the
+        # backpressure nor strand the blocked producer
+        service = stub_service(tmp_path, queue_capacity=1)
+        op = add_rows("GoodList", [("x",)])
+        service.submit(op)                       # fills the queue; no loop
+        outcomes = []
+
+        def producer():
+            try:
+                service.ingest([op], wait=True, timeout=10)
+                outcomes.append("completed")
+            except ServiceFailed:
+                outcomes.append("refused")
+            except TimeoutError:
+                outcomes.append("stranded")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.1)                          # let it block on the put
+        started = time.monotonic()
+        service.stop(timeout=2.0)
+        assert time.monotonic() - started < 2.0
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcomes == ["refused"]

@@ -1,6 +1,7 @@
 """Write-ahead log: append/replay round-trips and corruption handling."""
 
 import json
+import warnings
 
 import pytest
 
@@ -88,6 +89,41 @@ class TestCorruption:
         # the torn lsn-2 append was never committed, so 2 is reused
         assert wal.append(sample_batch()) == 2
 
+    def test_open_physically_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        text = path.read_text()
+        path.write_text(text[:len(text) - 20])
+        with pytest.warns(UserWarning, match="truncated tail"):
+            WriteAheadLog(path).close()
+        repaired = path.read_text()
+        assert repaired.endswith("\n")
+        assert json.loads(repaired.splitlines()[-1])["lsn"] == 1
+
+    def test_append_after_torn_tail_does_not_corrupt(self, tmp_path):
+        # a crash-truncated final line must be cut from the file before the
+        # append stream opens — otherwise the next record concatenates onto
+        # the torn bytes and a later restart reads a corrupt merged line
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+        text = path.read_text()
+        path.write_text(text[:len(text) - 20])
+        with pytest.warns(UserWarning, match="truncated tail"):
+            wal = WriteAheadLog(path)
+        wal.append(sample_batch())
+        wal.close()
+        # the restarted log is fully clean: no warning, both records intact
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with WriteAheadLog(path) as reopened:
+                records = reopened.replay()
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[1].batch == sample_batch()
+
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "ingest.wal"
         with WriteAheadLog(path) as wal:
@@ -117,6 +153,43 @@ class TestCorruption:
     def test_fsync_mode_appends(self, tmp_path):
         with WriteAheadLog(tmp_path / "ingest.wal", fsync=True) as wal:
             assert wal.append(sample_batch()) == 1
+
+
+class TestCompaction:
+    def test_compact_drops_checkpointed_prefix(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            for _ in range(3):
+                wal.append(sample_batch())
+            assert wal.compact(2) == 2
+            assert wal.base_lsn == 2
+            assert [r.lsn for r in wal.replay()] == [3]
+            assert wal.append(sample_batch()) == 4
+        with WriteAheadLog(path) as wal:
+            assert wal.last_lsn == 4
+            assert [r.lsn for r in wal.replay(after_lsn=3)] == [4]
+
+    def test_compact_everything_leaves_header_only(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            for _ in range(5):
+                wal.append(sample_batch())
+            assert wal.compact() == 5            # default: the whole log
+            assert wal.replay() == []
+            assert wal.last_lsn == 5             # LSNs keep counting up
+        assert len(path.read_text().splitlines()) == 1
+        with WriteAheadLog(path) as wal:
+            assert wal.append(sample_batch()) == 6
+            assert [r.lsn for r in wal.replay(after_lsn=5)] == [6]
+
+    def test_compact_is_idempotent_and_monotonic(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ingest.wal") as wal:
+            wal.append(sample_batch())
+            wal.append(sample_batch())
+            assert wal.compact(1) == 1
+            assert wal.compact(1) == 0           # already at base 1
+            assert wal.compact(0) == 0           # never goes backwards
+            assert [r.lsn for r in wal.replay()] == [2]
 
 
 class TestOpRecords:
