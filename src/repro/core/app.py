@@ -115,7 +115,9 @@ class DeepDive:
                       workers=self.config.workers):
             per_doc = preprocess_corpus(
                 documents, workers=self.config.workers,
-                parallel_mode=self.config.parallel_mode)
+                parallel_mode=self.config.parallel_mode,
+                pool_warm=self.config.pool_warm,
+                pool_min_work=self.config.pool_min_work)
             sentences = [s for group in per_doc for s in group]
         with obs.span("extractors.run",
                       extractors=len(self._extractors)) as sp:
@@ -273,6 +275,7 @@ class DeepDive:
             if holdout_count else np.array([], dtype=np.int64)
         holdout_labels = compiled.evidence_values[holdout].copy()
         compiled.is_evidence[holdout] = False
+        compiled.note_mutation()
 
         options = learning or LearningOptions(
             seed=self.seed, engine=self.config.gibbs_engine)

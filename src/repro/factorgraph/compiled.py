@@ -118,6 +118,11 @@ class CompiledGraph:
         # ---- chromatic schedule ---------------------------------------------
         self.var_colors, self.num_colors = self._greedy_coloring()
 
+        # In-place mutation counter (weights from the learner, evidence
+        # clamping).  The warm worker pool keys its shared-memory segment
+        # cache on it, so a stale-version graph is never served to workers.
+        self.mutation_version = 0
+
     def _greedy_coloring(self) -> tuple[np.ndarray, int]:
         """Greedy color of the conflict graph over general-factor variables.
 
@@ -302,8 +307,18 @@ class CompiledGraph:
         return delta
 
     # ---------------------------------------------------------------- weights
+    def note_mutation(self) -> None:
+        """Record an in-place mutation of this graph's arrays.
+
+        Callers that write ``weight_values`` / ``is_evidence`` / etc.
+        directly (the learner, holdout clamping) must bump this so cached
+        shared-memory packs of the graph are invalidated and re-synced.
+        """
+        self.mutation_version += 1
+
     def set_weights(self, values: np.ndarray) -> None:
         self.weight_values[:] = values
+        self.note_mutation()
 
     def export_weights(self, graph: FactorGraph) -> None:
         """Write learned weight values back into the mutable graph."""

@@ -112,6 +112,7 @@ def _learn_weights(compiled: CompiledGraph,
         else:
             compiled.weight_values[trainable] += step * gradient[trainable]
             step *= options.decay
+        compiled.note_mutation()
         clamped_chain.refresh_weights()
         free_chain.refresh_weights()
 

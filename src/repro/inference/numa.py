@@ -40,7 +40,10 @@ import numpy as np
 from repro import obs
 from repro.factorgraph.compiled import CompiledGraph
 from repro.inference.gibbs import ENGINES, GibbsSampler
-from repro.obs.config import VALID_PARALLEL_MODES, EngineConfig
+from repro.obs.config import (DEFAULT_POOL_MIN_WORK, VALID_PARALLEL_MODES,
+                              EngineConfig)
+from repro.parallel.dispatch import decide_replicas
+from repro.parallel.registry import get_pool
 from repro.parallel.replicas import ReplicaOutcome, run_replicas_parallel
 
 
@@ -59,6 +62,12 @@ class NumaConfig:
     totals to the sequential loop.  ``workers=0`` keeps the sequential
     reference path.  ``parallel_mode`` and ``parallel_timeout`` tune the
     pool's start method and crash/stall deadline.
+
+    ``pool_warm`` selects the persistent warm pool
+    (:class:`~repro.parallel.warm.WorkerPool`, the default) over the
+    historical per-call cold pool; ``pool_min_work`` is the adaptive
+    dispatcher's threshold -- replica runs whose estimated work falls
+    below it stay sequential regardless of ``workers``.
     """
 
     sockets: int = 4
@@ -70,6 +79,8 @@ class NumaConfig:
     workers: int = 0
     parallel_mode: str = "auto"
     parallel_timeout: float = 120.0
+    pool_warm: bool = True
+    pool_min_work: int = DEFAULT_POOL_MIN_WORK
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
@@ -84,6 +95,9 @@ class NumaConfig:
             raise ValueError(f"unknown parallel mode {self.parallel_mode!r}")
         if self.parallel_timeout <= 0:
             raise ValueError("parallel_timeout must be positive")
+        if self.pool_min_work < 0:
+            raise ValueError("pool_min_work cannot be negative "
+                             "(0 = always dispatch)")
 
     @classmethod
     def from_engine_config(cls, config: EngineConfig,
@@ -94,7 +108,9 @@ class NumaConfig:
         merged = {"sockets": config.numa_sockets,
                   "engine": config.gibbs_engine,
                   "workers": config.workers,
-                  "parallel_mode": config.parallel_mode}
+                  "parallel_mode": config.parallel_mode,
+                  "pool_warm": config.pool_warm,
+                  "pool_min_work": config.pool_min_work}
         merged.update(overrides)
         return cls(**merged)
 
@@ -182,6 +198,33 @@ class NumaGibbs:
                     totals += world
         return ReplicaOutcome(totals=totals, socket_samples=socket_samples)
 
+    def _run_replicas_pool(self, total_sweeps: int,
+                           burn_in: int) -> ReplicaOutcome | None:
+        """Fan replicas out over the configured pool backend, or ``None``.
+
+        ``pool_warm=True`` routes through the shared persistent
+        :class:`~repro.parallel.warm.WorkerPool`; ``False`` keeps the
+        historical per-call cold pool.  Either way a ``None`` return sends
+        the caller to the bit-identical sequential loop.
+        """
+        config = self.config
+        if config.pool_warm:
+            pool = get_pool(config.workers, mode=config.parallel_mode,
+                            timeout=config.parallel_timeout)
+            if pool is None:
+                return None
+            return pool.run_replicas(
+                self.compiled, sockets=config.sockets, seed=self.seed,
+                engine=config.engine, total_sweeps=total_sweeps,
+                burn_in=burn_in, sync_every=config.sync_every,
+                timeout=config.parallel_timeout)
+        return run_replicas_parallel(
+            self.compiled, sockets=config.sockets, seed=self.seed,
+            engine=config.engine, total_sweeps=total_sweeps,
+            burn_in=burn_in, sync_every=config.sync_every,
+            workers=config.workers, mode=config.parallel_mode,
+            timeout=config.parallel_timeout)
+
     def run(self, num_samples: int = 100, burn_in: int = 20) -> NumaRunResult:
         """Draw marginals with one independent chain per socket.
 
@@ -201,14 +244,13 @@ class NumaGibbs:
                       workers=config.workers) as sp:
             if config.numa_aware and config.sockets > 1:
                 outcome = None
-                if config.workers > 0:
-                    outcome = run_replicas_parallel(
-                        self.compiled, sockets=config.sockets,
-                        seed=self.seed, engine=config.engine,
-                        total_sweeps=total_sweeps, burn_in=burn_in,
-                        sync_every=config.sync_every,
-                        workers=config.workers, mode=config.parallel_mode,
-                        timeout=config.parallel_timeout)
+                decision = decide_replicas(
+                    self.compiled, sockets=config.sockets,
+                    total_sweeps=total_sweeps, workers=config.workers,
+                    min_work=config.pool_min_work)
+                decision.record()
+                if decision.use_pool:
+                    outcome = self._run_replicas_pool(total_sweeps, burn_in)
                 if outcome is None:
                     outcome = self._run_replicas_sequential(total_sweeps,
                                                             burn_in)

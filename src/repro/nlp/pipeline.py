@@ -78,18 +78,37 @@ def preprocess_document(doc: Document) -> list[Sentence]:
 
 
 def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
-                      parallel_mode: str = "auto") -> list[list[Sentence]]:
+                      parallel_mode: str = "auto", pool_warm: bool = True,
+                      pool_min_work: int | None = None
+                      ) -> list[list[Sentence]]:
     """Per-document sentence lists, fanned out when ``workers > 0``.
 
-    The parallel pool's chunked order-preserving merge returns exactly what
-    the sequential loop would; a pool failure silently falls back to that
-    loop, so callers always get ``[preprocess_document(d) for d in docs]``.
+    The parallel layer's chunked order-preserving merge returns exactly
+    what the sequential loop would; a pool failure silently falls back to
+    that loop, so callers always get ``[preprocess_document(d) for d in
+    docs]``.  The adaptive dispatcher keeps corpora whose total character
+    count estimates below ``pool_min_work`` on the sequential path, and
+    ``pool_warm`` picks the persistent pool (default) over the historical
+    per-call one.
     """
     per_doc = None
     if workers > 0 and len(documents) > 1:
-        from repro.parallel import parallel_preprocess
-        per_doc = parallel_preprocess(documents, workers=workers,
-                                      mode=parallel_mode)
+        from repro.obs.config import DEFAULT_POOL_MIN_WORK
+        from repro.parallel import (decide_map, get_pool,
+                                    parallel_preprocess)
+        if pool_min_work is None:
+            pool_min_work = DEFAULT_POOL_MIN_WORK
+        decision = decide_map(sum(len(doc.content) for doc in documents),
+                              workers=workers, min_work=pool_min_work)
+        decision.record()
+        if decision.use_pool:
+            if pool_warm:
+                pool = get_pool(workers, mode=parallel_mode)
+                if pool is not None:
+                    per_doc = pool.map(preprocess_document, documents)
+            else:
+                per_doc = parallel_preprocess(documents, workers=workers,
+                                              mode=parallel_mode)
     if per_doc is None:
         per_doc = [preprocess_document(doc) for doc in documents]
     return per_doc
@@ -97,7 +116,9 @@ def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
 
 def load_corpus(db: Database, documents: Iterable[Document],
                 workers: int | None = None,
-                parallel_mode: str | None = None) -> int:
+                parallel_mode: str | None = None,
+                pool_warm: bool | None = None,
+                pool_min_work: int | None = None) -> int:
     """Preprocess ``documents`` into the ``documents``/``sentences`` relations.
 
     Creates the relations if absent.  Returns the number of sentences loaded.
@@ -116,9 +137,15 @@ def load_corpus(db: Database, documents: Iterable[Document],
         workers = config.workers if config is not None else 0
     if parallel_mode is None:
         parallel_mode = config.parallel_mode if config is not None else "auto"
+    if pool_warm is None:
+        pool_warm = config.pool_warm if config is not None else True
+    if pool_min_work is None:
+        pool_min_work = config.pool_min_work if config is not None else None
     docs = list(documents)
     per_doc = preprocess_corpus(docs, workers=workers,
-                                parallel_mode=parallel_mode)
+                                parallel_mode=parallel_mode,
+                                pool_warm=pool_warm,
+                                pool_min_work=pool_min_work)
     db["documents"].insert_many((doc.doc_id, doc.content) for doc in docs)
     rows = [sentence_row(sentence)
             for sentences in per_doc for sentence in sentences]

@@ -34,9 +34,19 @@ ENV_VARS = {
     "trace": "REPRO_TRACE",
     "workers": "REPRO_WORKERS",
     "parallel_mode": "REPRO_PARALLEL_MODE",
+    "pool_warm": "REPRO_POOL_WARM",
+    "pool_min_work": "REPRO_POOL_MIN_WORK",
 }
 
 _TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+#: Adaptive-dispatch threshold, in dispatcher work units (roughly primitive
+#: operations: factor-graph edge visits for replica sampling, scaled
+#: characters for NLP fan-out).  Calibrated against the warm pool's per-call
+#: overhead (~1-5 ms of pipe rendezvous + cache checks): below ~1e5 work
+#: units a sequential run finishes before the pool's round trips pay off.
+DEFAULT_POOL_MIN_WORK = 100_000
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,18 @@ class EngineConfig:
     ``parallel_mode``
         Process start method for the worker pool: ``"auto"`` (``fork``
         where available, else ``spawn``), ``"fork"``, or ``"spawn"``.
+    ``pool_warm``
+        When true (the default) parallel work goes through the *persistent*
+        warm worker pool (:mod:`repro.parallel.warm`): worker processes and
+        shared-memory graph segments survive across calls, so repeat
+        dispatches skip process spawn and graph packing.  ``False`` keeps
+        the historical cold per-call pools.
+    ``pool_min_work``
+        Adaptive-dispatch threshold: parallel-eligible calls whose
+        estimated work (dispatcher work units) falls below this run on the
+        sequential path instead -- below the threshold, per-call dispatch
+        overhead outweighs any speedup.  ``0`` disables the guard (always
+        dispatch when ``workers > 0``).
     """
 
     datastore_backend: str = "auto"
@@ -78,6 +100,8 @@ class EngineConfig:
     trace: bool = False
     workers: int = 0
     parallel_mode: str = "auto"
+    pool_warm: bool = True
+    pool_min_work: int = DEFAULT_POOL_MIN_WORK
 
     def __post_init__(self) -> None:
         if self.datastore_backend not in VALID_BACKENDS:
@@ -97,6 +121,9 @@ class EngineConfig:
             raise ValueError(
                 f"unknown parallel mode {self.parallel_mode!r}; "
                 f"want one of {VALID_PARALLEL_MODES}")
+        if self.pool_min_work < 0:
+            raise ValueError("pool_min_work cannot be negative "
+                             "(0 = always dispatch)")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "EngineConfig":
@@ -140,10 +167,24 @@ class EngineConfig:
                                 defaults.parallel_mode)
         if parallel_mode not in VALID_PARALLEL_MODES:
             parallel_mode = defaults.parallel_mode
+        raw_warm = env.get(ENV_VARS["pool_warm"], "").strip().lower()
+        if raw_warm in _TRUTHY:
+            pool_warm = True
+        elif raw_warm in _FALSY:
+            pool_warm = False
+        else:
+            pool_warm = defaults.pool_warm
+        try:
+            pool_min_work = int(env.get(ENV_VARS["pool_min_work"], ""))
+            if pool_min_work < 0:
+                raise ValueError
+        except ValueError:
+            pool_min_work = defaults.pool_min_work
 
         return cls(datastore_backend=backend, columnar_threshold=threshold,
                    gibbs_engine=engine, numa_sockets=sockets, trace=trace,
-                   workers=workers, parallel_mode=parallel_mode)
+                   workers=workers, parallel_mode=parallel_mode,
+                   pool_warm=pool_warm, pool_min_work=pool_min_work)
 
     def with_options(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (the config itself is frozen)."""

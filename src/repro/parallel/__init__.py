@@ -3,38 +3,69 @@
 Zero-dependency (stdlib ``multiprocessing`` + numpy) parallelism for the
 two hot paths the paper attributes DeepDive's runtimes to:
 
-* **NUMA replica sampling** -- :func:`run_replicas_parallel` maps the
-  compiled factor graph into one shared-memory segment and runs each
-  socket's Gibbs replica chain in a worker process, with model-averaging
-  rendezvous barriers and a shared marginal accumulator;
-* **corpus loading** -- :func:`parallel_preprocess` fans the per-document
-  NLP chain over a crash-safe pool with an order-preserving merge.
+* **NUMA replica sampling** -- each socket's Gibbs replica chain runs in a
+  worker process against a shared-memory mapping of the compiled factor
+  graph, with model-averaging rendezvous and a shared marginal accumulator;
+* **corpus loading** -- the per-document NLP chain fans out over worker
+  processes with an order-preserving merge.
 
-Both are dispatched by the ``workers`` knob on
-:class:`~repro.obs.config.EngineConfig`; ``workers=0``
-keeps the sequential reference paths, which every parallel result is
-bit-identical to.  Any worker crash or timeout falls back to those paths
-with a warning -- never a hang.
+Two execution backends share those contracts:
+
+* the **warm pool** (:class:`WorkerPool`, the default) keeps worker
+  processes and shared-memory graph segments alive across calls, so
+  repeat dispatches skip process spawn and graph packing; pools are
+  shared process-wide through :func:`get_pool` / :func:`acquire_pool`;
+* the **cold path** (:func:`run_replicas_parallel`,
+  :func:`parallel_preprocess`) spawns per call -- retained as the
+  ``pool_warm=False`` escape hatch and as the warm pool's semantics
+  reference.
+
+The **adaptive dispatcher** (:func:`decide_replicas`, :func:`decide_map`)
+routes calls whose estimated work sits below
+``EngineConfig.pool_min_work`` to the sequential path, where per-call
+dispatch overhead would otherwise dominate.
+
+All of it is driven by the ``workers`` knob on
+:class:`~repro.obs.config.EngineConfig`; ``workers=0`` keeps the
+sequential reference paths, which every parallel result is bit-identical
+to.  Any worker crash or timeout falls back to those paths with a
+warning -- never a hang.
 """
 
 from repro.parallel.corpus import parallel_preprocess
+from repro.parallel.dispatch import (DispatchDecision, decide_map,
+                                     decide_replicas, estimate_map_work,
+                                     estimate_replica_work)
 from repro.parallel.pool import (DEFAULT_TIMEOUT, chunk_slices, fanout_map,
                                  resolve_mode)
+from repro.parallel.registry import (acquire_pool, get_pool, release_pool,
+                                     shutdown_pools)
 from repro.parallel.replicas import ReplicaOutcome, run_replicas_parallel
 from repro.parallel.shm import (AttachedPack, PackHandle, SharedArrayPack,
                                 attach_compiled, share_compiled)
+from repro.parallel.warm import WorkerPool
 
 __all__ = [
     "AttachedPack",
     "DEFAULT_TIMEOUT",
+    "DispatchDecision",
     "PackHandle",
     "ReplicaOutcome",
     "SharedArrayPack",
+    "WorkerPool",
+    "acquire_pool",
     "attach_compiled",
     "chunk_slices",
+    "decide_map",
+    "decide_replicas",
+    "estimate_map_work",
+    "estimate_replica_work",
     "fanout_map",
+    "get_pool",
     "parallel_preprocess",
+    "release_pool",
     "resolve_mode",
     "run_replicas_parallel",
     "share_compiled",
+    "shutdown_pools",
 ]

@@ -1,0 +1,106 @@
+"""Adaptive dispatch: route parallel-eligible work by estimated size.
+
+BENCH_e15 originally recorded the multiprocess layer *losing* to the
+sequential path at every worker count (0.39-0.52x): per-call worker spawn,
+graph packing, and rendezvous dominated the small workloads.  The warm pool
+(:mod:`repro.parallel.warm`) amortizes the first two, but even a warm
+dispatch pays a few pipe round trips per call -- so work below a calibrated
+threshold should never leave the calling process at all.
+
+The decision is a *pure function* of problem size and the configured
+threshold (``EngineConfig.pool_min_work``): given the same config and the
+same inputs it always picks the same path, which is what makes replay,
+recovery, and the property suite deterministic.  Measured per-call overhead
+informs the threshold's default calibration (see
+:data:`~repro.obs.config.DEFAULT_POOL_MIN_WORK`) and is tracked in obs
+metrics / :attr:`~repro.parallel.warm.WorkerPool.stats` -- it never feeds
+back into the decision at runtime.
+
+Work units are rough primitive-operation counts, comparable across
+workloads:
+
+* **replica sampling** -- factor-graph edge visits: every sweep of one
+  replica touches each unary edge and each general-factor edge once;
+* **corpus fan-out** -- characters of input text, scaled by
+  :data:`NLP_WORK_PER_CHAR` (the NLP chain does tokenization + POS tagging
+  per character, far more than one edge visit's worth of work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+
+#: Calibration factor: one character of NLP input costs about this many
+#: dispatcher work units (edge-visit equivalents).  Measured on the spouse
+#: corpus: the strip/split/tokenize/tag chain runs ~50x slower per input
+#: character than a vectorized sweep runs per graph edge.
+NLP_WORK_PER_CHAR = 50
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Where one parallel-eligible call should run, and why."""
+
+    path: str            # "pool" or "sequential"
+    workload: str        # "replicas" or "map"
+    work: int            # estimated work units for the whole call
+    threshold: int       # the configured pool_min_work
+    reason: str          # human-readable justification
+
+    @property
+    def use_pool(self) -> bool:
+        return self.path == "pool"
+
+    def record(self) -> None:
+        """Count this decision in the installed obs collector (if any)."""
+        if obs.enabled():
+            obs.count("parallel.dispatch", path=self.path,
+                      workload=self.workload)
+            obs.observe("parallel.dispatch.work", self.work,
+                        workload=self.workload)
+
+
+def estimate_replica_work(compiled, total_sweeps: int, sockets: int) -> int:
+    """Edge visits for ``sockets`` replica chains of ``total_sweeps`` sweeps."""
+    edges = int(compiled.num_unary) + int(len(compiled.fv_vars))
+    return max(1, edges) * max(0, total_sweeps) * max(1, sockets)
+
+
+def estimate_map_work(total_chars: int) -> int:
+    """Work units for fanning the NLP chain over ``total_chars`` of text."""
+    return max(0, total_chars) * NLP_WORK_PER_CHAR
+
+
+def _decide(workload: str, work: int, workers: int,
+            min_work: int) -> DispatchDecision:
+    if workers <= 0:
+        return DispatchDecision("sequential", workload, work, min_work,
+                                "workers=0 is the sequential reference path")
+    if work < min_work:
+        return DispatchDecision(
+            "sequential", workload, work, min_work,
+            f"work {work} below threshold {min_work}: dispatch overhead "
+            "would dominate")
+    return DispatchDecision("pool", workload, work, min_work,
+                            f"work {work} >= threshold {min_work}")
+
+
+def decide_replicas(compiled, *, sockets: int, total_sweeps: int,
+                    workers: int, min_work: int) -> DispatchDecision:
+    """Route one NUMA replica-sampling call.
+
+    Deterministic given (graph sizes, sockets, total_sweeps, workers,
+    min_work) -- all of which come from the compiled graph and the engine
+    config, never from wall-clock measurements.
+    """
+    work = estimate_replica_work(compiled, total_sweeps, sockets)
+    return _decide("replicas", work, workers, min_work)
+
+
+def decide_map(total_chars: int, *, workers: int,
+               min_work: int) -> DispatchDecision:
+    """Route one corpus-preprocessing fan-out of ``total_chars`` input."""
+    work = estimate_map_work(total_chars)
+    return _decide("map", work, workers, min_work)

@@ -1,0 +1,96 @@
+"""Process-wide registry of warm worker pools.
+
+A warm pool only pays off if *every* subsystem that wants ``workers=N``
+under start-method ``mode`` shares the same long-lived processes: the NUMA
+replica layer, corpus preprocessing, and the serving layer all route
+through :func:`get_pool`, which hands out one :class:`~repro.parallel.warm.
+WorkerPool` per ``(workers, mode)`` and keeps it alive across calls.
+
+Lifetime: the registry owns the pools.  :func:`acquire_pool` /
+:func:`release_pool` are *pin counts* for subsystems with an explicit
+open/stop lifecycle (``repro.serve``) -- releasing the last pin leaves the
+pool warm for the next caller; :func:`shutdown_pools` (registered at
+interpreter exit, callable from tests and benches) actually stops workers
+and unlinks segments.
+
+No code here reads environment variables; worker counts and modes arrive
+through :class:`~repro.obs.config.EngineConfig` plumbing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import warnings
+
+from repro.parallel.pool import DEFAULT_TIMEOUT
+from repro.parallel.warm import WorkerPool
+
+_LOCK = threading.Lock()
+_POOLS: dict[tuple[int, str], WorkerPool] = {}
+_PINS: dict[tuple[int, str], int] = {}
+
+
+def get_pool(workers: int, mode: str = "auto",
+             timeout: float = DEFAULT_TIMEOUT) -> WorkerPool | None:
+    """The shared warm pool for ``(workers, mode)``, or ``None``.
+
+    Creates the pool on first request and re-creates it if a previous one
+    was closed.  Returns ``None`` (with a warning) when the pool cannot be
+    built -- unavailable start method, bad worker count -- so callers fall
+    back to their sequential path.
+    """
+    if workers < 1:
+        return None
+    key = (workers, mode)
+    with _LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and not pool.closed:
+            return pool
+        try:
+            pool = WorkerPool(workers, mode=mode, timeout=timeout)
+        except ValueError as exc:
+            warnings.warn(f"warm pool unavailable: {exc}", RuntimeWarning,
+                          stacklevel=2)
+            return None
+        _POOLS[key] = pool
+        _PINS.setdefault(key, 0)
+        return pool
+
+
+def acquire_pool(workers: int, mode: str = "auto",
+                 timeout: float = DEFAULT_TIMEOUT) -> WorkerPool | None:
+    """``get_pool`` plus a pin: the caller promises a later ``release_pool``."""
+    pool = get_pool(workers, mode, timeout)
+    if pool is not None:
+        with _LOCK:
+            _PINS[(pool.workers, mode)] = _PINS.get((pool.workers, mode), 0) + 1
+    return pool
+
+
+def release_pool(pool: WorkerPool | None) -> None:
+    """Drop one pin.  The pool stays warm; the registry owns its lifetime.
+
+    Idempotent for ``None`` and for pools the registry no longer tracks,
+    so shutdown paths can call it unconditionally.
+    """
+    if pool is None:
+        return
+    with _LOCK:
+        for key, tracked in _POOLS.items():
+            if tracked is pool:
+                _PINS[key] = max(0, _PINS.get(key, 0) - 1)
+                return
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool and clear the registry."""
+    with _LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+        _PINS.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(shutdown_pools)

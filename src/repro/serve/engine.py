@@ -63,11 +63,35 @@ class ServeEngine:
         self.app: DeepDive | None = None
         self.version = -1                       # bootstrap publishes 0
         self.rule_deltas: list[str] = []
+        # warm worker pool attached by the service (None = no pooling);
+        # freshly compiled graphs are prestaged into its segment cache so
+        # the first dispatch against a new version pays no packing cost.
+        self.pool = None
         # inference state carried between batches, keyed by variable key so
         # it survives graph recompilation (and checkpointing)
         self._world: dict[Hashable, bool] = {}
         self._marginals: dict[Hashable, float] = {}
         self._mu: dict[Hashable, float] = {}
+
+    def attach_pool(self, pool) -> None:
+        """Adopt a warm :class:`~repro.parallel.warm.WorkerPool`.
+
+        The service owns acquisition/release through the pool registry; the
+        engine only prestages compiled graphs into the attached pool's
+        segment cache.  ``None`` detaches.
+        """
+        self.pool = pool
+
+    def _prestage(self, compiled: CompiledGraph) -> None:
+        """Pack (or re-sync) ``compiled`` into the attached pool's cache.
+
+        Called right after every (re)compilation so a graph mutated by a
+        rule delta or learning step can never be served from a stale
+        shared-memory segment: prestaging syncs the mutable arrays and
+        bumps the segment generation the workers key their samplers on.
+        """
+        if self.pool is not None and not self.pool.closed:
+            self.pool.prestage(compiled)
 
     # -------------------------------------------------------------- bootstrap
     def bootstrap(self, ops: list[IngestOp]) -> Snapshot:
@@ -142,6 +166,7 @@ class ServeEngine:
         if n == 0:
             self._world, self._marginals, self._mu = {}, {}, {}
             return {}, "none"
+        self._prestage(compiled)
         seed = self._refresh_seed()
         rng = np.random.default_rng(seed)
         world = rng.random(n) < 0.5

@@ -16,23 +16,41 @@ def documents(count=17):
 
 
 class TestPreprocessCorpus:
-    def test_parallel_matches_sequential(self):
+    @pytest.mark.parametrize("pool_warm", [True, False])
+    def test_parallel_matches_sequential(self, pool_warm):
         docs = documents()
         sequential = [preprocess_document(d) for d in docs]
-        assert preprocess_corpus(docs, workers=2) == sequential
-        assert preprocess_corpus(docs, workers=4) == sequential
+        for workers in (2, 4):
+            assert preprocess_corpus(docs, workers=workers,
+                                     pool_warm=pool_warm,
+                                     pool_min_work=0) == sequential
 
     def test_single_document_stays_sequential(self):
         docs = documents(count=1)
-        assert preprocess_corpus(docs, workers=4) \
+        assert preprocess_corpus(docs, workers=4, pool_min_work=0) \
             == [preprocess_document(docs[0])]
+
+    def test_small_corpus_stays_sequential(self, monkeypatch):
+        """Adaptive dispatch: below the work threshold, no pool is touched."""
+        docs = documents(count=5)
+        monkeypatch.setattr(repro.parallel, "get_pool",
+                            lambda *a, **k: pytest.fail("pool dispatched"))
+        monkeypatch.setattr(
+            repro.parallel, "parallel_preprocess",
+            lambda *a, **k: pytest.fail("cold pool dispatched"))
+        assert preprocess_corpus(docs, workers=2, pool_min_work=10 ** 9) \
+            == [preprocess_document(d) for d in docs]
 
     def test_pool_failure_falls_back(self, monkeypatch):
         docs = documents(count=5)
         monkeypatch.setattr(repro.parallel, "parallel_preprocess",
                             lambda *args, **kwargs: None)
-        assert preprocess_corpus(docs, workers=2) \
-            == [preprocess_document(d) for d in docs]
+        monkeypatch.setattr(repro.parallel, "get_pool",
+                            lambda *args, **kwargs: None)
+        for pool_warm in (True, False):
+            assert preprocess_corpus(docs, workers=2, pool_warm=pool_warm,
+                                     pool_min_work=0) \
+                == [preprocess_document(d) for d in docs]
 
 
 class TestLoadCorpus:
@@ -41,26 +59,27 @@ class TestLoadCorpus:
         docs = documents()
         db_seq, db_par = Database(), Database()
         rows_seq = load_corpus(db_seq, docs, workers=0)
-        rows_par = load_corpus(db_par, docs, workers=2)
+        rows_par = load_corpus(db_par, docs, workers=2, pool_min_work=0)
         assert rows_seq == rows_par
         assert list(db_seq["sentences"]) == list(db_par["sentences"])
         assert list(db_seq["documents"]) == list(db_par["documents"])
 
     def test_defaults_resolve_from_database_config(self, monkeypatch):
-        """load_corpus reads workers off db.config when not passed."""
+        """load_corpus reads the pool knobs off db.config when not passed."""
         captured = {}
 
-        def fake_preprocess(docs, workers=0, parallel_mode="auto"):
-            captured["workers"] = workers
-            captured["parallel_mode"] = parallel_mode
+        def fake_preprocess(docs, **kwargs):
+            captured.update(kwargs)
             return [preprocess_document(d) for d in docs]
 
         import repro.nlp.pipeline as pipeline
         monkeypatch.setattr(pipeline, "preprocess_corpus", fake_preprocess)
         from repro.obs import EngineConfig
-        db = Database(config=EngineConfig(workers=3, parallel_mode="fork"))
+        db = Database(config=EngineConfig(workers=3, parallel_mode="fork",
+                                          pool_warm=False, pool_min_work=7))
         load_corpus(db, documents(count=2))
-        assert captured == {"workers": 3, "parallel_mode": "fork"}
+        assert captured == {"workers": 3, "parallel_mode": "fork",
+                            "pool_warm": False, "pool_min_work": 7}
 
     def test_bulk_load_single_version_bump(self):
         """Satellite: sequential load_corpus bulk-inserts, not row at a time."""

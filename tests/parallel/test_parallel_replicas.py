@@ -23,6 +23,7 @@ def chain_graph(n=24, weight=0.8):
 
 
 def run(compiled, workers, **config_kwargs):
+    config_kwargs.setdefault("pool_min_work", 0)   # tiny graphs: still dispatch
     config = NumaConfig(sockets=4, sync_every=5, workers=workers,
                         **config_kwargs)
     return NumaGibbs(compiled, config, seed=3).run(num_samples=20, burn_in=5)
@@ -84,9 +85,12 @@ class TestFailureFallback:
         sequential = run(compiled, workers=0)
         monkeypatch.setattr(numa_module, "run_replicas_parallel",
                             lambda *args, **kwargs: None)
-        fallback = run(compiled, workers=4)
-        assert np.array_equal(sequential.marginals, fallback.marginals)
-        assert fallback.samples_drawn == sequential.samples_drawn
+        monkeypatch.setattr(numa_module, "get_pool",
+                            lambda *args, **kwargs: None)
+        for pool_warm in (True, False):
+            fallback = run(compiled, workers=4, pool_warm=pool_warm)
+            assert np.array_equal(sequential.marginals, fallback.marginals)
+            assert fallback.samples_drawn == sequential.samples_drawn
 
     def test_unavailable_mode_warns_and_falls_back(self, monkeypatch):
         import repro.parallel.pool as pool_module
