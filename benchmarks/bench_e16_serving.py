@@ -100,12 +100,21 @@ def make_service(tmp_path, tag, **config_changes):
 
 
 def measure_incremental_vs_full(tmp_path):
-    """Same one-document delta: incremental refresh vs forced full re-run."""
+    """Same one-document delta: incremental refresh vs forced full re-run.
+
+    Also times an explicit checkpoint of the live store and reports the
+    physical bytes the manager wrote (segment-manifest saves re-reference
+    unchanged segments, so this is the real I/O cost, not the store size).
+    """
     with make_service(tmp_path, "incremental") as service:
         started = perf_counter()
         snapshot = service.ingest(delta_batch(0), wait=True)
         incremental_seconds = perf_counter() - started
         assert snapshot.refresh in ("sampling", "variational")
+        started = perf_counter()
+        service.checkpoint()
+        checkpoint_seconds = perf_counter() - started
+        checkpoint_bytes = service.checkpoints.last_save_bytes
     # full_rerun_fraction ~ 0 forces every delta through the full pipeline
     with make_service(tmp_path, "full",
                       full_rerun_fraction=1e-9) as service:
@@ -113,7 +122,8 @@ def measure_incremental_vs_full(tmp_path):
         snapshot = service.ingest(delta_batch(0), wait=True)
         full_seconds = perf_counter() - started
         assert snapshot.refresh == "full_run"
-    return incremental_seconds, full_seconds
+    return (incremental_seconds, full_seconds,
+            checkpoint_seconds, checkpoint_bytes)
 
 
 def measure_concurrent_serving(tmp_path):
@@ -185,10 +195,13 @@ def test_e16_serving(benchmark, reporter, tmp_path):
     results = {}
 
     def experiment():
-        incremental, full = measure_incremental_vs_full(tmp_path)
+        (incremental, full,
+         ckpt_seconds, ckpt_bytes) = measure_incremental_vs_full(tmp_path)
         results["incremental_seconds"] = incremental
         results["full_rerun_seconds"] = full
         results["incremental_speedup"] = full / incremental
+        results["checkpoint_seconds"] = ckpt_seconds
+        results["checkpoint_bytes_written"] = ckpt_bytes
         results.update(measure_concurrent_serving(tmp_path))
         recovery_seconds, identical = measure_recovery(tmp_path)
         results["recovery_seconds"] = recovery_seconds
@@ -207,6 +220,9 @@ def test_e16_serving(benchmark, reporter, tmp_path):
           f"{results['full_rerun_seconds'] * 1000:.1f} ms"],
          ["incremental speedup",
           f"{results['incremental_speedup']:.1f}x"],
+         ["explicit checkpoint",
+          f"{results['checkpoint_seconds'] * 1000:.1f} ms, "
+          f"{results['checkpoint_bytes_written']} bytes written"],
          ["ingest throughput",
           f"{results['ingest_batches_per_sec']:.1f} batches/s"],
          ["read p50 / p99",

@@ -89,3 +89,21 @@ def synthetic_names(count: int, rng: np.random.Generator,
             seen.add(name)
             names.append(name)
     return names
+
+
+def stream_documents(generate, chunks: int, seed: int = 0,
+                     **generate_kwargs):
+    """Stream an unbounded-size corpus from a bounded-size generator.
+
+    Calls ``generate(seed=...)`` once per chunk (seeds ``seed``, ``seed+1``,
+    ...) and yields each chunk's documents one at a time, prefixing every
+    ``doc_id`` with ``c<chunk>-`` so ids stay globally unique across chunks.
+    Only one chunk's :class:`GeneratedCorpus` is ever resident, so a corpus
+    arbitrarily larger than memory can feed ``load_corpus``'s streaming path
+    (``chunk_docs=...``) with constant peak RSS.
+    """
+    for index in range(chunks):
+        corpus = generate(seed=seed + index, **generate_kwargs)
+        prefix = f"c{index:05d}-"
+        for doc in corpus.documents:
+            yield Document(prefix + doc.doc_id, doc.content)

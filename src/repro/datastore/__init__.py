@@ -11,6 +11,8 @@ from repro.datastore.plan import (Extend, Join, Plan, Project, Rename, Scan,
                                   Select, Union, chain_joins)
 from repro.datastore.relation import Relation
 from repro.datastore.schema import Column, Schema, SchemaError
+from repro.datastore.segments import (SegmentCache, SegmentedRelation,
+                                      SegmentError, segment_cache)
 from repro.datastore.types import ColumnType
 
 __all__ = [
@@ -28,9 +30,13 @@ __all__ = [
     "Scan",
     "Schema",
     "SchemaError",
+    "SegmentCache",
+    "SegmentError",
+    "SegmentedRelation",
     "Select",
     "SignedDelta",
     "Union",
     "ViewSet",
     "chain_joins",
+    "segment_cache",
 ]

@@ -49,6 +49,40 @@ class Database:
         self._relations[name] = relation
         return relation
 
+    def create_segmented(self, name: str, schema: Schema | None = None, /,
+                         directory=None, segment_rows: int | None = None,
+                         **column_types: str):
+        """Create a disk-backed :class:`SegmentedRelation` named ``name``.
+
+        ``directory`` is where sealed segment files live (required);
+        ``segment_rows`` defaults to the database config's knob.  The
+        relation participates in queries/views exactly like an in-memory
+        one, but its frozen prefix stays on disk (see
+        :mod:`repro.datastore.segments`).
+        """
+        from repro.datastore.segments import SegmentedRelation
+
+        if name in self._relations:
+            raise DatabaseError(f"relation {name!r} already exists")
+        if directory is None:
+            raise ValueError("create_segmented() needs a directory for "
+                             "the segment files")
+        if schema is None:
+            if not column_types:
+                raise ValueError("create_segmented() needs a schema or "
+                                 "column keyword arguments")
+            schema = Schema.of(**column_types)
+        if segment_rows is None:
+            config = self.config
+            if config is None:
+                from repro.datastore.query import active_config
+                config = active_config()
+            segment_rows = config.segment_rows
+        relation = SegmentedRelation(name, schema, directory,
+                                     segment_rows=segment_rows)
+        self._relations[name] = relation
+        return relation
+
     def drop(self, name: str) -> None:
         if name not in self._relations:
             raise DatabaseError(f"no relation {name!r}")

@@ -14,6 +14,8 @@ import io
 import json
 from typing import Any, Iterable, TextIO
 
+import numpy as np
+
 from repro.datastore.database import Database
 from repro.datastore.relation import Relation
 from repro.datastore.schema import Schema
@@ -77,25 +79,96 @@ def relation_to_csv_text(relation: Relation) -> str:
 
 
 # --------------------------------------------------------------------- JSON
-#: Current JSON database format.  v2 adds each relation's mutation-version
-#: counter so a restored database resumes IVM/DRed cache keying where the
-#: dumped one left off; v1 dumps (no counter) still load.
-DATABASE_FORMAT_VERSION = 2
-SUPPORTED_DATABASE_VERSIONS = (1, 2)
+#: Current JSON database format.  v3 stores each relation columnar: one or
+#: more *parts*, each a local interning pool plus per-column int64 code
+#: lists and a multiplicity vector -- every distinct row is written once
+#: (v2 expanded multiplicities into repeated rows) and dump/restore moves
+#: codes in bulk instead of decoding Python rows.  v2 adds each relation's
+#: mutation-version counter so a restored database resumes IVM/DRed cache
+#: keying where the dumped one left off; v1/v2 dumps still load.
+DATABASE_FORMAT_VERSION = 3
+SUPPORTED_DATABASE_VERSIONS = (1, 2, 3)
 
 
-def database_to_dict(db: Database, relations: Iterable[str] | None = None) -> dict:
-    """Serialize ``db`` (or a subset of relations) to a JSON-compatible dict."""
+def relation_parts(relation: Relation) -> list[dict]:
+    """``relation`` as v3 *parts*: ``{pool, codes, counts}`` dicts.
+
+    A :class:`~repro.datastore.segments.SegmentedRelation` contributes one
+    part per sealed segment (codes copied straight out of the mmap, no row
+    decode) plus its tail; an in-memory relation becomes a single part
+    encoded against a fresh local pool.  Tuple values (ARRAY columns) are
+    stored as JSON lists; :func:`counts_from_parts` restores them.
+    """
+    from repro.datastore.segments import encode_value
+
+    parts = []
+    for store in _relation_stores(relation):
+        parts.append({
+            "pool": [encode_value(v) for v in store.pool.values],
+            "codes": [np.asarray(store.codes[j]).tolist()
+                      for j in range(store.codes.shape[0])],
+            "counts": np.asarray(store.counts).tolist(),
+        })
+    return parts
+
+
+def _relation_stores(relation: Relation):
+    from repro.datastore import columnar as C
+    from repro.datastore.segments import SegmentedRelation
+
+    if isinstance(relation, SegmentedRelation):
+        yield from relation.iter_stores()
+    else:
+        yield C.ColumnStore.from_counted_rows(
+            relation.schema, relation.counted_rows(), C.InternPool())
+
+
+def counts_from_parts(parts: Iterable[dict]) -> dict:
+    """Merge v3 parts back into one ``row -> count`` bag.
+
+    Tolerant of both JSON lists and numpy arrays for codes/counts, so
+    in-process callers (checkpoint manifests) can hand over arrays without
+    a ``tolist`` round-trip.
+    """
+    from repro.datastore.segments import decode_value
+
+    counts: dict[tuple, int] = {}
+    for part in parts:
+        values = [decode_value(v) for v in part["pool"]]
+        objects = np.empty(len(values), dtype=object)
+        objects[:] = values
+        columns = [objects[np.asarray(codes, dtype=np.int64)]
+                   for codes in part["codes"]]
+        multiplicities = np.asarray(part["counts"], dtype=np.int64).tolist()
+        for row, count in zip(zip(*columns), multiplicities):
+            counts[row] = counts.get(row, 0) + count
+    return counts
+
+
+def database_to_dict(db: Database, relations: Iterable[str] | None = None,
+                     version: int = DATABASE_FORMAT_VERSION) -> dict:
+    """Serialize ``db`` (or a subset of relations) to a JSON-compatible dict.
+
+    ``version`` selects the emitted format (3 is the columnar default;
+    2 keeps the legacy expanded-rows layout for compatibility tooling).
+    """
+    if version not in (2, 3):
+        raise ValueError(f"can only write database format versions 2 and 3, "
+                         f"not {version!r}")
     names = list(relations) if relations is not None else db.names()
-    payload = {"version": DATABASE_FORMAT_VERSION, "relations": {}}
+    payload = {"version": version, "relations": {}}
     for name in names:
         relation = db[name]
-        payload["relations"][name] = {
+        item: dict = {
             "schema": [[c.name, c.type.value] for c in relation.schema.columns],
-            "rows": [[list(v) if isinstance(v, tuple) else v for v in row]
-                     for row in relation],
             "mutation_version": relation.mutation_version,
         }
+        if version == 3:
+            item["parts"] = relation_parts(relation)
+        else:
+            item["rows"] = [[list(v) if isinstance(v, tuple) else v
+                             for v in row] for row in relation]
+        payload["relations"][name] = item
     return payload
 
 
@@ -104,9 +177,11 @@ def database_from_dict(data: dict) -> Database:
 
     Restored relations resume the persisted mutation-version counters, so
     incremental machinery (DRed views, columnar caches) keyed on them
-    behaves exactly as it would have over the original database.
+    behaves exactly as it would have over the original database.  Unknown
+    (future) format versions are refused rather than misread.
     """
-    if data.get("version") not in SUPPORTED_DATABASE_VERSIONS:
+    version = data.get("version")
+    if version not in SUPPORTED_DATABASE_VERSIONS:
         raise ValueError(
             f"unsupported database format version {data.get('version')!r}; "
             f"this build reads versions {SUPPORTED_DATABASE_VERSIONS}")
@@ -118,7 +193,10 @@ def database_from_dict(data: dict) -> Database:
         # one bulk insert (a single version bump) so the persisted counter —
         # which counted at least one mutation per stored row batch — can
         # always be restored exactly
-        relation.insert_many(item["rows"])
+        if version == 3:
+            relation.insert_counted(counts_from_parts(item["parts"]).items())
+        else:
+            relation.insert_many(item["rows"])
         persisted = item.get("mutation_version")
         if persisted is not None and persisted > relation.mutation_version:
             relation.restore_mutation_version(persisted)

@@ -111,6 +111,11 @@ def _pick(backend: str | None, *relations: Relation,
     return mode
 
 
+def _memory_budget(config: EngineConfig | None) -> int | None:
+    """The effective spill budget in bytes (``None`` = never spill)."""
+    return (config or _default_config).memory_budget
+
+
 def _record(op: str, engine: str, inputs: tuple[Relation, ...],
             result: Relation) -> Relation:
     """Note one dispatch decision on the active metrics registry."""
@@ -208,8 +213,16 @@ def join(left: Relation, right: Relation, on: Sequence[tuple[str, str]] | None =
     if engine == "columnar":
         from repro.datastore import columnar as C
         if C.columnar_supported(left.schema, right.schema, on):
-            out = C.join(left.columnar(), right.columnar(),
-                         on).to_relation(out_name)
+            left_store, right_store = left.columnar(), right.columnar()
+            budget = _memory_budget(config)
+            from repro.datastore import spill
+            if spill.should_spill(budget, left_store, right_store):
+                out = spill.spill_join(left_store, right_store, on,
+                                       budget, out_name)
+                engine = "columnar-spill"
+            else:
+                out = C.join(left_store, right_store,
+                             on).to_relation(out_name)
         else:
             engine = "row"
     if out is None:
@@ -266,9 +279,25 @@ def distinct(relation: Relation, name: str | None = None,
              backend: str | None = None,
              config: EngineConfig | None = None) -> Relation:
     """Set-semantics version of ``relation`` (every count becomes 1)."""
-    return Relation.from_counts(
-        name or f"distinct({relation.name})", relation.schema,
-        dict.fromkeys(relation.distinct_rows(), 1), validate=False)
+    out_name = name or f"distinct({relation.name})"
+    engine = _pick(backend, relation, config=config)
+    if engine == "columnar":
+        from repro.datastore import columnar as C
+        store = relation.columnar()
+        budget = _memory_budget(config)
+        from repro.datastore import spill
+        if spill.should_spill(budget, store):
+            out = spill.spill_distinct(store, budget, out_name)
+            engine = "columnar-spill"
+        else:
+            out = C.distinct(store).to_relation(out_name)
+    else:
+        out = Relation.from_counts(
+            out_name, relation.schema,
+            dict.fromkeys(relation.distinct_rows(), 1), validate=False)
+    if obs.enabled():
+        _record("distinct", engine, (relation,), out)
+    return out
 
 
 def aggregate(relation: Relation, group_by: Sequence[str],
@@ -287,8 +316,16 @@ def aggregate(relation: Relation, group_by: Sequence[str],
     engine = _pick(backend, relation, config=config)
     if engine == "columnar":
         from repro.datastore import columnar as C
-        out = C.aggregate(relation.columnar(), group_by, aggregates,
-                          schema).to_relation(out_name)
+        store = relation.columnar()
+        budget = _memory_budget(config)
+        from repro.datastore import spill
+        if spill.should_spill(budget, store):
+            out = spill.spill_aggregate(store, group_by, aggregates,
+                                        schema, budget, out_name)
+            engine = "columnar-spill"
+        else:
+            out = C.aggregate(store, group_by, aggregates,
+                              schema).to_relation(out_name)
     else:
         out = _aggregate_rows(relation, group_by, agg_specs, schema, out_name)
     if obs.enabled():

@@ -156,6 +156,30 @@ class Relation:
                 index.setdefault(key, Counter())[stored] += 1
         return len(rows)
 
+    def insert_counted(self, counted: Iterable[tuple[Sequence[Any], int]],
+                       validate: bool = True) -> int:
+        """Insert ``(row, count)`` pairs in one pass (a single version bump).
+
+        The bulk path for restoring persisted bags: multiplicities land
+        directly in the Counter instead of being expanded row-by-row.
+        Returns the total multiplicity inserted.
+        """
+        added = 0
+        for row, count in counted:
+            if count <= 0:
+                raise ValueError(
+                    f"insert count must be positive, got {count}")
+            stored = self.schema.validate_row(row) if validate else row
+            self._counts[stored] += count
+            added += count
+            for key_positions, index in self._indexes.items():
+                key = tuple(stored[i] for i in key_positions)
+                index.setdefault(key, Counter())[stored] += count
+        if added:
+            self._total += added
+            self._version += 1
+        return added
+
     def delete(self, row: Sequence[Any], count: int = 1) -> int:
         """Remove up to ``count`` copies of ``row``; return how many were removed."""
         if count <= 0:

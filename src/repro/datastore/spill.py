@@ -1,0 +1,233 @@
+"""Grace-hash spill-to-disk execution for the columnar operators.
+
+The columnar kernels in :mod:`repro.datastore.columnar` materialize their
+whole input -- and, for joins, an output that can be quadratically larger --
+as in-memory numpy arrays.  Past the configured memory budget
+(``EngineConfig.memory_budget``) that is exactly the working set we must
+not hold, so the join/aggregate/distinct dispatchers in
+:mod:`repro.datastore.query` reroute here.
+
+The strategy is classic grace hash: hash every row's key codes (join keys,
+group-by keys, or all columns for distinct), partition both the code matrix
+and the count vector into ``P`` temp files on disk, then run the ordinary
+in-memory kernel one partition at a time and merge the per-partition counts.
+``P`` is sized so one partition's input fits comfortably inside the budget.
+
+Bit-identity with the in-memory path is structural, not approximate:
+
+* partitioning selects rows with a boolean mask, which preserves their
+  relative order, and every row of a given key lands in exactly one
+  partition (the partition is a pure function of the key codes);
+* therefore each kernel sees, per key, the same rows in the same order as
+  the global kernel would -- float accumulations (``sum``/``avg`` weighted
+  by multiplicities) run in the identical sequence and produce identical
+  bits, while join/distinct are integer-exact regardless;
+* results merge through ``row -> count`` dictionaries, which is how the
+  in-memory path materializes a :class:`Relation` anyway.
+
+The property suite ``tests/property/test_spill_operators.py`` asserts this
+equivalence across random inputs and budgets, including budget ``0``
+(spill everything).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.datastore.relation import Relation, Row
+
+#: Partition-count clamp: at least 2 (otherwise spilling is a no-op copy),
+#: at most 64 (file-handle and bookkeeping sanity; 64 partitions already
+#: divide any realistic input well below budget).
+MIN_PARTITIONS = 2
+MAX_PARTITIONS = 64
+
+#: Partition count used when the budget is 0 ("always spill"): the divisor
+#: is arbitrary since any nonzero input exceeds a zero budget.
+ZERO_BUDGET_PARTITIONS = 8
+
+_FNV_OFFSET = np.uint64(1469598103934665603)
+_FNV_PRIME = np.uint64(1099511628211)
+
+
+def store_nbytes(store) -> int:
+    """Resident bytes of one :class:`ColumnStore`'s row data (codes+counts)."""
+    return int(store.codes.nbytes + store.counts.nbytes)
+
+
+def should_spill(budget: int | None, *stores) -> bool:
+    """Whether ``stores`` exceed ``budget`` (``None`` never spills, ``0``
+    always spills nonempty inputs)."""
+    if budget is None:
+        return False
+    total = sum(store_nbytes(s) for s in stores)
+    if total == 0:
+        return False
+    return total > budget
+
+
+def partition_count(budget: int, total_bytes: int) -> int:
+    """Partitions needed so one partition's input is ~half the budget."""
+    if budget <= 0:
+        return ZERO_BUDGET_PARTITIONS
+    wanted = -(-2 * total_bytes // budget)        # ceil(2*total/budget)
+    return max(MIN_PARTITIONS, min(MAX_PARTITIONS, int(wanted)))
+
+
+def partition_ids(key_codes: np.ndarray, n_partitions: int) -> np.ndarray:
+    """FNV-style hash of each column of an ``(k, n)`` key-code matrix.
+
+    The hash is a pure function of the key codes, so equal keys always map
+    to the same partition -- the invariant the whole merge correctness
+    argument rests on.  uint64 arithmetic wraps silently in numpy, which is
+    exactly the FNV mixing we want.
+    """
+    n = key_codes.shape[1]
+    mixed = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    for row in key_codes:
+        mixed = (mixed ^ row.astype(np.uint64)) * _FNV_PRIME
+    return (mixed % np.uint64(n_partitions)).astype(np.int64)
+
+
+# ------------------------------------------------------------ partition I/O
+def _write_partitions(tmpdir: pathlib.Path, tag: str, store,
+                      key_positions: Sequence[int], n_partitions: int,
+                      ) -> tuple[list[tuple[pathlib.Path, pathlib.Path] | None], int]:
+    """Spill ``store`` into per-partition ``.npy`` pairs; return paths+bytes.
+
+    Empty partitions get ``None`` instead of files.  Only codes and counts
+    hit the disk -- the interning pool is the shared in-process dictionary
+    and stays where it is.
+    """
+    key_codes = store.codes[np.asarray(key_positions, dtype=np.intp)]
+    pids = partition_ids(key_codes, n_partitions)
+    paths: list[tuple[pathlib.Path, pathlib.Path] | None] = []
+    spilled = 0
+    for p in range(n_partitions):
+        mask = pids == p
+        if not mask.any():
+            paths.append(None)
+            continue
+        codes_path = tmpdir / f"{tag}-{p}.codes.npy"
+        counts_path = tmpdir / f"{tag}-{p}.counts.npy"
+        part_codes = store.codes[:, mask]
+        part_counts = store.counts[mask]
+        np.save(codes_path, part_codes)
+        np.save(counts_path, part_counts)
+        spilled += part_codes.nbytes + part_counts.nbytes
+        paths.append((codes_path, counts_path))
+    return paths, spilled
+
+
+def _load_partition(paths: tuple[pathlib.Path, pathlib.Path], schema, pool):
+    """Reopen one spilled partition as a :class:`ColumnStore` (mmap'd)."""
+    from repro.datastore import columnar as C
+    codes = np.load(paths[0], mmap_mode="r", allow_pickle=False)
+    counts = np.load(paths[1], mmap_mode="r", allow_pickle=False)
+    return C.ColumnStore(schema, codes, counts, pool)
+
+
+def _note_spill(op: str, spilled_bytes: int, resident_bytes: int,
+                n_partitions: int) -> None:
+    if obs.enabled():
+        obs.count(f"datastore.{op}", engine="columnar-spill")
+        obs.gauge("datastore.spill.bytes", spilled_bytes, op=op)
+        obs.gauge("datastore.spill.resident_bytes", resident_bytes, op=op)
+        obs.observe("datastore.spill.partitions", n_partitions, op=op)
+
+
+# -------------------------------------------------------------- operators
+def spill_join(left, right, on: Sequence[tuple[str, str]], budget: int,
+               name: str) -> Relation:
+    """Grace-hash join of two column stores under ``budget`` bytes.
+
+    Both sides are partitioned by the hash of their join-key codes (the
+    shared pool guarantees equal values encode to equal codes on both
+    sides), then the in-memory columnar join runs per partition pair.
+    """
+    from repro.datastore import columnar as C
+    total = store_nbytes(left) + store_nbytes(right)
+    n_partitions = partition_count(budget, total)
+    left_positions = [left.schema.position(pair[0]) for pair in on]
+    right_positions = [right.schema.position(pair[1]) for pair in on]
+    counts: dict[Row, int] = {}
+    schema = None
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as raw:
+        tmpdir = pathlib.Path(raw)
+        left_parts, left_bytes = _write_partitions(
+            tmpdir, "left", left, left_positions, n_partitions)
+        right_parts, right_bytes = _write_partitions(
+            tmpdir, "right", right, right_positions, n_partitions)
+        _note_spill("join", left_bytes + right_bytes, total, n_partitions)
+        for left_paths, right_paths in zip(left_parts, right_parts):
+            if left_paths is None or right_paths is None:
+                continue
+            part = C.join(_load_partition(left_paths, left.schema, left.pool),
+                          _load_partition(right_paths, right.schema, right.pool),
+                          on)
+            schema = part.schema
+            for row, count in part.to_counts().items():
+                counts[row] = counts.get(row, 0) + count
+    if schema is None:
+        # no partition pair had rows on both sides: empty join, but the
+        # output schema must still match the in-memory path's
+        keep = [c for c in right.schema.names
+                if c not in {pair[1] for pair in on}]
+        schema = left.schema.concat(right.schema.project(keep))
+    return Relation.from_counts(name, schema, counts, validate=False)
+
+
+def spill_aggregate(store, group_by: Sequence[str],
+                    aggregates: dict[str, tuple[str, str]], schema,
+                    budget: int, name: str) -> Relation:
+    """Grace-hash group-by aggregation under ``budget`` bytes.
+
+    Partitioning by the group-key codes puts every row of a group in one
+    partition, in input order -- so each group's accumulator sees the exact
+    float-addition sequence of the in-memory kernel, and the per-partition
+    outputs are disjoint group sets that merge by simple union.
+    """
+    from repro.datastore import columnar as C
+    total = store_nbytes(store)
+    n_partitions = partition_count(budget, total)
+    group_positions = [store.schema.position(c) for c in group_by]
+    counts: dict[Row, int] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as raw:
+        tmpdir = pathlib.Path(raw)
+        parts, spilled = _write_partitions(
+            tmpdir, "agg", store, group_positions, n_partitions)
+        _note_spill("aggregate", spilled, total, n_partitions)
+        for paths in parts:
+            if paths is None:
+                continue
+            part = C.aggregate(_load_partition(paths, store.schema, store.pool),
+                               group_by, aggregates, schema)
+            for row, count in part.to_counts().items():
+                counts[row] = counts.get(row, 0) + count
+    return Relation.from_counts(name, schema, counts, validate=False)
+
+
+def spill_distinct(store, budget: int, name: str) -> Relation:
+    """Distinct under ``budget`` bytes: partition on all columns."""
+    from repro.datastore import columnar as C
+    total = store_nbytes(store)
+    n_partitions = partition_count(budget, total)
+    all_positions = list(range(store.schema.arity))
+    counts: dict[Row, int] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as raw:
+        tmpdir = pathlib.Path(raw)
+        parts, spilled = _write_partitions(
+            tmpdir, "distinct", store, all_positions, n_partitions)
+        _note_spill("distinct", spilled, total, n_partitions)
+        for paths in parts:
+            if paths is None:
+                continue
+            part = C.distinct(_load_partition(paths, store.schema, store.pool))
+            for row in part.rows():
+                counts[row] = 1
+    return Relation.from_counts(name, store.schema, counts, validate=False)

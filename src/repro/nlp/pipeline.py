@@ -114,11 +114,31 @@ def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
     return per_doc
 
 
+def iter_document_chunks(documents: Iterable[Document],
+                         chunk_docs: int) -> Iterable[list[Document]]:
+    """Batch a document iterable into lists of at most ``chunk_docs``.
+
+    Never materializes the whole iterable: at most one chunk is resident,
+    which is what makes :func:`load_corpus`'s streaming path bounded-memory.
+    """
+    if chunk_docs < 1:
+        raise ValueError(f"chunk_docs must be positive, got {chunk_docs}")
+    chunk: list[Document] = []
+    for doc in documents:
+        chunk.append(doc)
+        if len(chunk) >= chunk_docs:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def load_corpus(db: Database, documents: Iterable[Document],
                 workers: int | None = None,
                 parallel_mode: str | None = None,
                 pool_warm: bool | None = None,
-                pool_min_work: int | None = None) -> int:
+                pool_min_work: int | None = None,
+                chunk_docs: int | None = None) -> int:
     """Preprocess ``documents`` into the ``documents``/``sentences`` relations.
 
     Creates the relations if absent.  Returns the number of sentences loaded.
@@ -127,6 +147,13 @@ def load_corpus(db: Database, documents: Iterable[Document],
     to the database's :class:`~repro.obs.config.EngineConfig`) fans the NLP
     chain across worker processes with byte-identical relation contents and
     row order.
+
+    ``chunk_docs`` selects the streaming path: documents are pulled from the
+    iterable ``chunk_docs`` at a time, preprocessed (still through the
+    worker pool when enabled), and inserted chunk-by-chunk — peak memory is
+    bounded by one chunk regardless of corpus size, and the final relation
+    contents are identical to a one-shot load (the relations just see one
+    version bump per chunk instead of one in total).
     """
     if "documents" not in db:
         db.create("documents", DOCUMENT_SCHEMA)
@@ -141,16 +168,22 @@ def load_corpus(db: Database, documents: Iterable[Document],
         pool_warm = config.pool_warm if config is not None else True
     if pool_min_work is None:
         pool_min_work = config.pool_min_work if config is not None else None
-    docs = list(documents)
-    per_doc = preprocess_corpus(docs, workers=workers,
-                                parallel_mode=parallel_mode,
-                                pool_warm=pool_warm,
-                                pool_min_work=pool_min_work)
-    db["documents"].insert_many((doc.doc_id, doc.content) for doc in docs)
-    rows = [sentence_row(sentence)
-            for sentences in per_doc for sentence in sentences]
-    db["sentences"].insert_many(rows)
-    return len(rows)
+    if chunk_docs is None:
+        chunks: Iterable[list[Document]] = [list(documents)]
+    else:
+        chunks = iter_document_chunks(documents, chunk_docs)
+    loaded = 0
+    for docs in chunks:
+        per_doc = preprocess_corpus(docs, workers=workers,
+                                    parallel_mode=parallel_mode,
+                                    pool_warm=pool_warm,
+                                    pool_min_work=pool_min_work)
+        db["documents"].insert_many((doc.doc_id, doc.content) for doc in docs)
+        rows = [sentence_row(sentence)
+                for sentences in per_doc for sentence in sentences]
+        db["sentences"].insert_many(rows)
+        loaded += len(rows)
+    return loaded
 
 
 def sentence_row(sentence: Sentence) -> tuple:

@@ -36,6 +36,8 @@ ENV_VARS = {
     "parallel_mode": "REPRO_PARALLEL_MODE",
     "pool_warm": "REPRO_POOL_WARM",
     "pool_min_work": "REPRO_POOL_MIN_WORK",
+    "memory_budget": "REPRO_MEMORY_BUDGET",
+    "segment_rows": "REPRO_SEGMENT_ROWS",
 }
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -91,6 +93,19 @@ class EngineConfig:
         sequential path instead -- below the threshold, per-call dispatch
         overhead outweighs any speedup.  ``0`` disables the guard (always
         dispatch when ``workers > 0``).
+    ``memory_budget``
+        Byte budget for the out-of-core datastore layer.  ``None`` (the
+        default) keeps every operator fully in memory.  A positive value
+        makes the columnar join/aggregate/distinct kernels spill
+        grace-hash partitions of their intermediates to temp files once
+        the inputs exceed the budget (:mod:`repro.datastore.spill`), with
+        bit-identical results; ``0`` forces the spill path for every
+        eligible operator (the exhaustive-coverage setting CI uses).
+    ``segment_rows``
+        Row capacity of one sealed segment for disk-backed
+        :class:`~repro.datastore.segments.SegmentedRelation`\\ s: the
+        in-memory tail is sealed to an immutable, content-addressed,
+        mmap-able segment file whenever it reaches this many rows.
     """
 
     datastore_backend: str = "auto"
@@ -102,6 +117,8 @@ class EngineConfig:
     parallel_mode: str = "auto"
     pool_warm: bool = True
     pool_min_work: int = DEFAULT_POOL_MIN_WORK
+    memory_budget: int | None = None
+    segment_rows: int = 8192
 
     def __post_init__(self) -> None:
         if self.datastore_backend not in VALID_BACKENDS:
@@ -124,6 +141,11 @@ class EngineConfig:
         if self.pool_min_work < 0:
             raise ValueError("pool_min_work cannot be negative "
                              "(0 = always dispatch)")
+        if self.memory_budget is not None and self.memory_budget < 0:
+            raise ValueError("memory_budget cannot be negative "
+                             "(None = unlimited, 0 = always spill)")
+        if self.segment_rows < 1:
+            raise ValueError("segment_rows must be at least 1")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "EngineConfig":
@@ -180,11 +202,24 @@ class EngineConfig:
                 raise ValueError
         except ValueError:
             pool_min_work = defaults.pool_min_work
+        try:
+            memory_budget = int(env.get(ENV_VARS["memory_budget"], ""))
+            if memory_budget < 0:
+                raise ValueError
+        except ValueError:
+            memory_budget = defaults.memory_budget
+        try:
+            segment_rows = int(env.get(ENV_VARS["segment_rows"], ""))
+            if segment_rows < 1:
+                raise ValueError
+        except ValueError:
+            segment_rows = defaults.segment_rows
 
         return cls(datastore_backend=backend, columnar_threshold=threshold,
                    gibbs_engine=engine, numa_sockets=sockets, trace=trace,
                    workers=workers, parallel_mode=parallel_mode,
-                   pool_warm=pool_warm, pool_min_work=pool_min_work)
+                   pool_warm=pool_warm, pool_min_work=pool_min_work,
+                   memory_budget=memory_budget, segment_rows=segment_rows)
 
     def with_options(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (the config itself is frozen)."""

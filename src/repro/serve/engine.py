@@ -285,13 +285,18 @@ class ServeEngine:
         )
 
     # ---------------------------------------------------------- checkpointing
-    def checkpoint_payload(self) -> dict:
-        """Everything needed to resume this engine, JSON-compatible."""
-        return {
+    def checkpoint_payload(self, inline_database: bool = True) -> dict:
+        """Everything needed to resume this engine, JSON-compatible.
+
+        ``inline_database=False`` omits the datastore dump: the caller then
+        passes the live database to ``CheckpointManager.save(database=...)``,
+        which seals it into shared content-addressed segment files instead
+        of re-serializing it into every checkpoint document.
+        """
+        payload = {
             "engine_version": self.version,
             "threshold": self.threshold,
             "rule_deltas": list(self.rule_deltas),
-            "database": database_to_dict(self.app.db),
             "graph": fg_serialize.to_dict(self.app.graph),
             "grounder": self.app.grounder.state_dict(),
             "state": {
@@ -303,6 +308,9 @@ class ServeEngine:
                        for key, value in self._mu.items()],
             },
         }
+        if inline_database:
+            payload["database"] = database_to_dict(self.app.db)
+        return payload
 
     @classmethod
     def restore(cls, payload: dict, app_factory: AppFactory,

@@ -130,11 +130,11 @@ class TestCheckpointFailureIsolation:
             real_save = service.checkpoints.save
             calls = []
 
-            def flaky_save(payload, lsn):
+            def flaky_save(payload, lsn, database=None):
                 calls.append(lsn)
                 if len(calls) == 1:
                     raise OSError("disk full")
-                return real_save(payload, lsn)
+                return real_save(payload, lsn, database=database)
 
             service.checkpoints.save = flaky_save
             with pytest.warns(UserWarning, match="periodic checkpoint "
@@ -152,7 +152,7 @@ class TestCheckpointFailureIsolation:
 
     def test_explicit_checkpoint_failure_keeps_serving(self, tmp_path):
         with live_service(tmp_path) as service:
-            def broken_save(payload, lsn):
+            def broken_save(payload, lsn, database=None):
                 raise OSError("disk full")
 
             service.checkpoints.save = broken_save
