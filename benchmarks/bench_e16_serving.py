@@ -137,7 +137,7 @@ def measure_concurrent_serving(tmp_path):
         def reader(slot):
             while not stop.is_set():
                 started = perf_counter()
-                snapshot = service.snapshot()
+                snapshot = service.client().snapshot()
                 snapshot.output_tuples("GoodName")
                 latencies[slot].append(perf_counter() - started)
                 if ingesting.is_set():
@@ -156,7 +156,7 @@ def measure_concurrent_serving(tmp_path):
         stop.set()
         for thread in threads:
             thread.join(timeout=30)
-        final_version = service.snapshot().version
+        final_version = service.client().snapshot().version
 
     flat = sorted(sum(latencies, []))
     cuts = quantiles(flat, n=100)
@@ -180,14 +180,14 @@ def measure_recovery(tmp_path):
     service = make_service(tmp_path, "recover", checkpoint_every=4)
     for index in range(6):                       # checkpoint at 4, tail 5..6
         service.ingest(delta_batch(index), wait=True)
-    expected = dict(service.snapshot().marginals)
+    expected = dict(service.client().snapshot().marginals)
     service.stop()
     started = perf_counter()
     recovered = KBService.open(tmp_path / "recover", app_factory,
                                config=service.config, run_kwargs=RUN_KWARGS)
     recovery_seconds = perf_counter() - started
     with recovered:
-        identical = dict(recovered.snapshot().marginals) == expected
+        identical = dict(recovered.client().snapshot().marginals) == expected
     return recovery_seconds, identical
 
 

@@ -1,14 +1,18 @@
 """A live knowledge base: ingest, query, crash, recover (repro.serve).
 
 The batch pipeline answers "run this program over this corpus once"; the
-serving layer keeps the KB *alive*.  This demo walks the full story:
+serving layer keeps the KB *alive*.  This demo walks the full story
+through :class:`~repro.serve.KBClient`, the one sanctioned surface over
+both serving backends:
 
 1. bootstrap a service over a small mention-extraction program;
 2. stream in documents and supervision updates while querying between
    batches (readers see immutable versioned snapshots);
 3. hot-add a DDlog rule (the full re-extraction regime);
 4. simulate a crash right after a write-ahead-log append — the worst
-   moment — and recover to bit-identical marginals from checkpoint + WAL.
+   moment — and recover to bit-identical marginals from checkpoint + WAL;
+5. rebuild the same KB sharded two ways and show the client surface
+   (snapshot, query, lsn_vector, tenants) is identical either way.
 
 Run:  python examples/serving_loop.py
 """
@@ -18,7 +22,7 @@ import tempfile
 
 from repro.core.app import DeepDive
 from repro.inference import LearningOptions
-from repro.serve import (AddRules, KBService, ServeConfig, ServiceFailed,
+from repro.serve import (AddRules, KBClient, ServeConfig, ServiceFailed,
                          add_documents, add_rows, remove_rows)
 
 PROGRAM = """
@@ -85,43 +89,40 @@ def main():
     ]
 
     print("== bootstrap (full learn + inference, checkpoint 0)")
-    service = KBService.create(directory, app_factory, bootstrap,
-                               config=config, run_kwargs=RUN_KWARGS)
-    describe("v0", service.snapshot())
+    client = KBClient.create(directory, app_factory, bootstrap,
+                             config=config, run_kwargs=RUN_KWARGS)
+    describe("v0", client.snapshot())
 
     print("\n== streaming ingest (incremental grounding + refresh)")
-    snapshot = service.ingest(
-        [add_documents([("n0", "the grape and the blight sat there .")])],
-        wait=True)
+    snapshot = client.ingest(
+        [add_documents([("n0", "the grape and the blight sat there .")])])
     describe("new doc", snapshot)
-    snapshot = service.ingest([remove_rows("GoodList", [("apple",)])],
-                              wait=True)
+    snapshot = client.ingest([remove_rows("GoodList", [("apple",)])])
     describe("retract supervision", snapshot)
 
     print("\n== rule delta (full re-extraction regime)")
-    snapshot = service.ingest(
+    snapshot = client.ingest(
         [AddRules("ExtraGood(token text).\n"
                   "GoodName_Ev(m, true) :- "
-                  "NameMention(s, m, t, p), ExtraGood(t).")], wait=True)
+                  "NameMention(s, m, t, p), ExtraGood(t).")])
     describe("new rule", snapshot)
-    snapshot = service.ingest([add_rows("ExtraGood", [("grape",)])], wait=True)
+    snapshot = client.ingest([add_rows("ExtraGood", [("grape",)])])
     describe("supervise via new rule", snapshot)
     expected = dict(snapshot.marginals)
 
     print("\n== crash: die right after the WAL append of the next batch")
-    service.fault_hooks["after_wal_append"] = lambda lsn, batch: (
+    # admin/fault surfaces live on the backend; .service is the escape hatch
+    client.service.fault_hooks["after_wal_append"] = lambda lsn, batch: (
         (_ for _ in ()).throw(RuntimeError(f"power loss at lsn {lsn}")))
     try:
-        service.ingest([add_documents([("n1", "the melon sat there .")])],
-                       wait=True)
+        client.ingest([add_documents([("n1", "the melon sat there .")])])
     except ServiceFailed as failure:
         print(f"  ingest failed as expected: {failure}")
-    service.wal.close()
+    client.service.wal.close()
 
     print("\n== recover: newest checkpoint + WAL tail replay")
-    recovered = KBService.open(directory, app_factory, config=config,
-                               run_kwargs=RUN_KWARGS)
-    with recovered:
+    with KBClient.open(directory, app_factory, config=config,
+                       run_kwargs=RUN_KWARGS) as recovered:
         snapshot = recovered.snapshot()
         describe("recovered", snapshot)
         survivors = {key: value for key, value in snapshot.marginals.items()
@@ -131,6 +132,26 @@ def main():
               f"{identical}")
         print(f"  the torn batch (durable in the WAL) was replayed too: "
               f"lsn {snapshot.lsn}")
+    shutil.rmtree(directory)
+
+    print("\n== the same KB, sharded: identical client surface")
+    directory = tempfile.mkdtemp(prefix="repro-serve-sharded-")
+    sharded_config = config.with_options(shards=2, checkpoint_every=0)
+    with KBClient.create(directory, app_factory, bootstrap,
+                         config=sharded_config,
+                         run_kwargs=RUN_KWARGS) as client:
+        print(f"  backend: {client!r}")
+        client.service.register_tenant("ingest-team", quota=64)
+        merged = client.ingest(
+            [add_documents([("n0", "the grape and the blight sat there .")])],
+            tenant="ingest-team")
+        accepted = sorted(client.query("GoodName"))
+        print(f"  lsn vector {merged.lsn_vector} "
+              f"(one component per shard), {len(accepted)} accepted")
+        # versioned cross-shard read: the vector pins every shard at once
+        pinned = client.snapshot_at(merged.lsn_vector)
+        print(f"  snapshot_at(vector) re-reads the same view: "
+              f"{dict(pinned.marginals) == dict(merged.marginals)}")
     shutil.rmtree(directory)
 
 

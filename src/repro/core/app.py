@@ -117,7 +117,8 @@ class DeepDive:
                 documents, workers=self.config.workers,
                 parallel_mode=self.config.parallel_mode,
                 pool_warm=self.config.pool_warm,
-                pool_min_work=self.config.pool_min_work)
+                pool_min_work=self.config.pool_min_work,
+                pool_owner=self.config.pool_owner)
             sentences = [s for group in per_doc for s in group]
         with obs.span("extractors.run",
                       extractors=len(self._extractors)) as sp:

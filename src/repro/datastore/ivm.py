@@ -111,7 +111,23 @@ class MaterializedView:
 
     def visible_rows(self) -> list[Row]:
         """Visible rows as a list -- the bulk read the grounder consumes."""
-        return [row for row, count in self._derivations.items() if count > 0]
+        return list(self.iter_visible())
+
+    def iter_visible(self) -> Iterator[Row]:
+        """Stream visible rows without building the list.
+
+        The row-iterator protocol for views: bulk loads (grounder initial
+        load, shard rebalance) consume this so a large derived view is
+        never resident twice — once in the derivation counter and once as
+        a materialized list.
+        """
+        for row, count in self._derivations.items():
+            if count > 0:
+                yield row
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Protocol alias: a view's rows are its visible rows (set semantics)."""
+        return self.iter_visible()
 
     def derivation_count(self, row: Sequence[Any]) -> int:
         return self._derivations.get(self.schema.validate_row(row), 0)

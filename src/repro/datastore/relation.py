@@ -114,6 +114,18 @@ class Relation:
         """Iterate ``(row, count)`` pairs."""
         return iter(self._counts.items())
 
+    def iter_rows(self) -> Iterator[Row]:
+        """Stream rows with multiplicity — the row-iterator protocol.
+
+        Equivalent to ``iter(self)``, but spelled as a method so bulk
+        consumers can accept "anything with ``iter_rows``": a
+        :class:`~repro.datastore.ivm.MaterializedView` answers it with its
+        visible rows, and a ``SegmentedRelation`` streams segment by
+        segment, so piping ``iter_rows()`` into ``insert_many`` never
+        materializes the source relation as a list.
+        """
+        return iter(self)
+
     def counts_copy(self) -> Counter[Row]:
         """An independent ``row -> count`` Counter snapshot (one C-level copy)."""
         return Counter(self._counts)

@@ -153,12 +153,13 @@ class Grounder:
             relation.clear()
             # view rows already passed schema validation on their way in
             relation.insert_many(
-                self.db.views[f"derived::{name}"].visible_rows(),
+                self.db.views[f"derived::{name}"].iter_visible(),
                 validate=False)
         delta = GroundingDelta()
         # Evidence first, so variables created by rule grounding see labels.
         for view_name, index in self._view_rules.items():
             if self._rules[index].kind == RuleKind.SUPERVISION:
+                # supervision walks its rows twice; keep the list here
                 rows = self.db.views[view_name].visible_rows()
                 self._apply_supervision(index, appeared=rows, disappeared=[],
                                         delta=delta)
@@ -166,7 +167,7 @@ class Grounder:
             rule = self._rules[index]
             if rule.kind in (RuleKind.FEATURE, RuleKind.INFERENCE):
                 ground_row = self._ground_row
-                for row in self.db.views[view_name].visible_rows():
+                for row in self.db.views[view_name].iter_visible():
                     ground_row(index, row, delta)
 
     # ---------------------------------------------------- checkpoint support

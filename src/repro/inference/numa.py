@@ -81,6 +81,7 @@ class NumaConfig:
     parallel_timeout: float = 120.0
     pool_warm: bool = True
     pool_min_work: int = DEFAULT_POOL_MIN_WORK
+    pool_owner: str | None = None
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
@@ -110,7 +111,8 @@ class NumaConfig:
                   "workers": config.workers,
                   "parallel_mode": config.parallel_mode,
                   "pool_warm": config.pool_warm,
-                  "pool_min_work": config.pool_min_work}
+                  "pool_min_work": config.pool_min_work,
+                  "pool_owner": config.pool_owner}
         merged.update(overrides)
         return cls(**merged)
 
@@ -210,7 +212,8 @@ class NumaGibbs:
         config = self.config
         if config.pool_warm:
             pool = get_pool(config.workers, mode=config.parallel_mode,
-                            timeout=config.parallel_timeout)
+                            timeout=config.parallel_timeout,
+                            owner=config.pool_owner)
             if pool is None:
                 return None
             return pool.run_replicas(

@@ -77,9 +77,22 @@ def preprocess_document(doc: Document) -> list[Sentence]:
     return sentences
 
 
+def preprocess_document_rows(doc: Document) -> list[tuple]:
+    """The ``sentences`` relation rows for one document.
+
+    The row-returning face of :func:`preprocess_document`: pool workers
+    ship plain row tuples back to the parent instead of :class:`Sentence`
+    objects (smaller pickles, no ``offsets``), and the parent-side merge
+    can stream them straight into ``insert_many`` — see
+    :func:`iter_corpus_rows`.
+    """
+    return [sentence_row(sentence) for sentence in preprocess_document(doc)]
+
+
 def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
                       parallel_mode: str = "auto", pool_warm: bool = True,
-                      pool_min_work: int | None = None
+                      pool_min_work: int | None = None,
+                      pool_owner: str | None = None
                       ) -> list[list[Sentence]]:
     """Per-document sentence lists, fanned out when ``workers > 0``.
 
@@ -87,9 +100,10 @@ def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
     what the sequential loop would; a pool failure silently falls back to
     that loop, so callers always get ``[preprocess_document(d) for d in
     docs]``.  The adaptive dispatcher keeps corpora whose total character
-    count estimates below ``pool_min_work`` on the sequential path, and
+    count estimates below ``pool_min_work`` on the sequential path,
     ``pool_warm`` picks the persistent pool (default) over the historical
-    per-call one.
+    per-call one, and ``pool_owner`` selects a private registry partition
+    (a sharded service's per-shard pool) instead of the shared pool.
     """
     per_doc = None
     if workers > 0 and len(documents) > 1:
@@ -103,7 +117,8 @@ def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
         decision.record()
         if decision.use_pool:
             if pool_warm:
-                pool = get_pool(workers, mode=parallel_mode)
+                pool = get_pool(workers, mode=parallel_mode,
+                                owner=pool_owner)
                 if pool is not None:
                     per_doc = pool.map(preprocess_document, documents)
             else:
@@ -112,6 +127,44 @@ def preprocess_corpus(documents: Sequence[Document], workers: int = 0,
     if per_doc is None:
         per_doc = [preprocess_document(doc) for doc in documents]
     return per_doc
+
+
+def iter_corpus_rows(documents: Sequence[Document], workers: int = 0,
+                     parallel_mode: str = "auto", pool_warm: bool = True,
+                     pool_min_work: int | None = None,
+                     pool_owner: str | None = None):
+    """Lazily yield per-document ``sentences`` row lists (the row-iterator
+    protocol's NLP face).
+
+    Bit-identical to ``[preprocess_document_rows(d) for d in documents]``
+    but never materializes :class:`Sentence` objects on the parent side:
+    the sequential path is a generator (one document's rows resident at a
+    time), and the pooled path maps :func:`preprocess_document_rows` so
+    workers return row tuples directly — the per-shard NLP merge of a
+    sharded service consumes these without holding a chunk of sentence
+    objects per worker.
+    """
+    if workers > 0 and len(documents) > 1:
+        from repro.obs.config import DEFAULT_POOL_MIN_WORK
+        from repro.parallel import decide_map, get_pool
+        if pool_min_work is None:
+            pool_min_work = DEFAULT_POOL_MIN_WORK
+        decision = decide_map(sum(len(doc.content) for doc in documents),
+                              workers=workers, min_work=pool_min_work)
+        decision.record()
+        if decision.use_pool:
+            if pool_warm:
+                pool = get_pool(workers, mode=parallel_mode, owner=pool_owner)
+                if pool is not None:
+                    per_doc = pool.map(preprocess_document_rows, documents)
+                    if per_doc is not None:
+                        return per_doc
+            else:
+                from repro.parallel import parallel_preprocess
+                per_doc = parallel_preprocess(documents, workers=workers,
+                                              mode=parallel_mode)
+                return ([sentence_row(s) for s in group] for group in per_doc)
+    return (preprocess_document_rows(doc) for doc in documents)
 
 
 def iter_document_chunks(documents: Iterable[Document],
@@ -154,6 +207,11 @@ def load_corpus(db: Database, documents: Iterable[Document],
     bounded by one chunk regardless of corpus size, and the final relation
     contents are identical to a one-shot load (the relations just see one
     version bump per chunk instead of one in total).
+
+    The merge consumes :func:`iter_corpus_rows`: sentence rows stream into
+    ``insert_many`` directly, so no :class:`Sentence` objects are ever
+    materialized here — on the sequential path at most one document's rows
+    are resident beyond the validated insert batch.
     """
     if "documents" not in db:
         db.create("documents", DOCUMENT_SCHEMA)
@@ -168,21 +226,21 @@ def load_corpus(db: Database, documents: Iterable[Document],
         pool_warm = config.pool_warm if config is not None else True
     if pool_min_work is None:
         pool_min_work = config.pool_min_work if config is not None else None
+    pool_owner = config.pool_owner if config is not None else None
     if chunk_docs is None:
         chunks: Iterable[list[Document]] = [list(documents)]
     else:
         chunks = iter_document_chunks(documents, chunk_docs)
     loaded = 0
     for docs in chunks:
-        per_doc = preprocess_corpus(docs, workers=workers,
-                                    parallel_mode=parallel_mode,
-                                    pool_warm=pool_warm,
-                                    pool_min_work=pool_min_work)
+        per_doc_rows = iter_corpus_rows(docs, workers=workers,
+                                        parallel_mode=parallel_mode,
+                                        pool_warm=pool_warm,
+                                        pool_min_work=pool_min_work,
+                                        pool_owner=pool_owner)
         db["documents"].insert_many((doc.doc_id, doc.content) for doc in docs)
-        rows = [sentence_row(sentence)
-                for sentences in per_doc for sentence in sentences]
-        db["sentences"].insert_many(rows)
-        loaded += len(rows)
+        loaded += db["sentences"].insert_many(
+            row for rows in per_doc_rows for row in rows)
     return loaded
 
 

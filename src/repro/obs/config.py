@@ -93,6 +93,13 @@ class EngineConfig:
         sequential path instead -- below the threshold, per-call dispatch
         overhead outweighs any speedup.  ``0`` disables the guard (always
         dispatch when ``workers > 0``).
+    ``pool_owner``
+        Registry partition token for the warm worker pool.  ``None`` (the
+        default) shares one pool per ``(workers, mode)`` across the whole
+        process; a shard of a sharded service sets its own token so its
+        NLP fan-out and replica sampling get private worker processes
+        instead of thrashing a sibling shard's pool.  Set programmatically
+        (no environment fallback): sizing is the setter's responsibility.
     ``memory_budget``
         Byte budget for the out-of-core datastore layer.  ``None`` (the
         default) keeps every operator fully in memory.  A positive value
@@ -117,6 +124,7 @@ class EngineConfig:
     parallel_mode: str = "auto"
     pool_warm: bool = True
     pool_min_work: int = DEFAULT_POOL_MIN_WORK
+    pool_owner: str | None = None
     memory_budget: int | None = None
     segment_rows: int = 8192
 
@@ -240,6 +248,9 @@ SERVE_ENV_VARS = {
     "admission": "REPRO_SERVE_ADMISSION",
     "full_rerun_fraction": "REPRO_SERVE_FULL_RERUN_FRACTION",
     "strategy": "REPRO_SERVE_STRATEGY",
+    "shards": "REPRO_SHARDS",
+    "tenant_quota": "REPRO_TENANT_QUOTA",
+    "snapshot_history": "REPRO_SERVE_SNAPSHOT_HISTORY",
 }
 
 _SERVE_PARSERS = {
@@ -251,6 +262,9 @@ _SERVE_PARSERS = {
     "admission": str,
     "full_rerun_fraction": float,
     "strategy": str,
+    "shards": int,
+    "tenant_quota": int,
+    "snapshot_history": int,
 }
 
 

@@ -38,8 +38,8 @@ from repro.parallel.dispatch import (DispatchDecision, decide_map,
                                      estimate_replica_work)
 from repro.parallel.pool import (DEFAULT_TIMEOUT, chunk_slices, fanout_map,
                                  resolve_mode)
-from repro.parallel.registry import (acquire_pool, get_pool, release_pool,
-                                     shutdown_pools)
+from repro.parallel.registry import (acquire_pool, effective_cpus, get_pool,
+                                     pool_pins, release_pool, shutdown_pools)
 from repro.parallel.replicas import ReplicaOutcome, run_replicas_parallel
 from repro.parallel.shm import (AttachedPack, PackHandle, SharedArrayPack,
                                 attach_compiled, share_compiled)
@@ -58,11 +58,13 @@ __all__ = [
     "chunk_slices",
     "decide_map",
     "decide_replicas",
+    "effective_cpus",
     "estimate_map_work",
     "estimate_replica_work",
     "fanout_map",
     "get_pool",
     "parallel_preprocess",
+    "pool_pins",
     "release_pool",
     "resolve_mode",
     "run_replicas_parallel",

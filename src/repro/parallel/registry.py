@@ -4,7 +4,17 @@ A warm pool only pays off if *every* subsystem that wants ``workers=N``
 under start-method ``mode`` shares the same long-lived processes: the NUMA
 replica layer, corpus preprocessing, and the serving layer all route
 through :func:`get_pool`, which hands out one :class:`~repro.parallel.warm.
-WorkerPool` per ``(workers, mode)`` and keeps it alive across calls.
+WorkerPool` per ``(workers, mode, owner)`` and keeps it alive across calls.
+
+``owner`` partitions the registry: the default ``None`` is the shared pool
+every anonymous caller lands on, while a subsystem that must not share its
+workers — one shard of a :class:`~repro.serve.shard.ShardedKBService`, say,
+whose apply loop would otherwise thrash a sibling shard's segment cache and
+serialize both shards' NLP fan-outs through one set of processes — passes
+its own token and gets a private pool.  Shard-aware *sizing* is the
+caller's half of the bargain: N owners each asking for ``cpus / N`` workers
+fan out without oversubscribing the box (see
+:func:`effective_cpus` and the serve layer's per-shard worker cap).
 
 Lifetime: the registry owns the pools.  :func:`acquire_pool` /
 :func:`release_pool` are *pin counts* for subsystems with an explicit
@@ -20,20 +30,36 @@ through :class:`~repro.obs.config.EngineConfig` plumbing.
 from __future__ import annotations
 
 import atexit
+import os
 import threading
 import warnings
 
 from repro.parallel.pool import DEFAULT_TIMEOUT
 from repro.parallel.warm import WorkerPool
 
+_PoolKey = tuple[int, str, str | None]
+
 _LOCK = threading.Lock()
-_POOLS: dict[tuple[int, str], WorkerPool] = {}
-_PINS: dict[tuple[int, str], int] = {}
+_POOLS: dict[_PoolKey, WorkerPool] = {}
+_PINS: dict[_PoolKey, int] = {}
+
+
+def effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    The number shard routers divide by when sizing per-shard pools; falls
+    back to ``os.cpu_count()`` on platforms without ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                        # pragma: no cover - macOS
+        return os.cpu_count() or 1
 
 
 def get_pool(workers: int, mode: str = "auto",
-             timeout: float = DEFAULT_TIMEOUT) -> WorkerPool | None:
-    """The shared warm pool for ``(workers, mode)``, or ``None``.
+             timeout: float = DEFAULT_TIMEOUT,
+             owner: str | None = None) -> WorkerPool | None:
+    """The shared warm pool for ``(workers, mode, owner)``, or ``None``.
 
     Creates the pool on first request and re-creates it if a previous one
     was closed.  Returns ``None`` (with a warning) when the pool cannot be
@@ -42,7 +68,7 @@ def get_pool(workers: int, mode: str = "auto",
     """
     if workers < 1:
         return None
-    key = (workers, mode)
+    key = (workers, mode, owner)
     with _LOCK:
         pool = _POOLS.get(key)
         if pool is not None and not pool.closed:
@@ -59,12 +85,16 @@ def get_pool(workers: int, mode: str = "auto",
 
 
 def acquire_pool(workers: int, mode: str = "auto",
-                 timeout: float = DEFAULT_TIMEOUT) -> WorkerPool | None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 owner: str | None = None) -> WorkerPool | None:
     """``get_pool`` plus a pin: the caller promises a later ``release_pool``."""
-    pool = get_pool(workers, mode, timeout)
+    pool = get_pool(workers, mode, timeout, owner=owner)
     if pool is not None:
         with _LOCK:
-            _PINS[(pool.workers, mode)] = _PINS.get((pool.workers, mode), 0) + 1
+            for key, tracked in _POOLS.items():
+                if tracked is pool:
+                    _PINS[key] = _PINS.get(key, 0) + 1
+                    break
     return pool
 
 
@@ -81,6 +111,15 @@ def release_pool(pool: WorkerPool | None) -> None:
             if tracked is pool:
                 _PINS[key] = max(0, _PINS.get(key, 0) - 1)
                 return
+
+
+def pool_pins(pool: WorkerPool) -> int:
+    """Current pin count for ``pool`` (0 if untracked); for tests."""
+    with _LOCK:
+        for key, tracked in _POOLS.items():
+            if tracked is pool:
+                return _PINS.get(key, 0)
+    return 0
 
 
 def shutdown_pools() -> None:

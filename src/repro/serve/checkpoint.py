@@ -312,6 +312,18 @@ class CheckpointManager:
             payload["database"] = self._rehydrate(manifest, info)
         return payload
 
+    def load_database(self, info: CheckpointInfo | None = None):
+        """The datastore of a checkpoint as a live ``Database``.
+
+        A read-only convenience for tools that want the relations without
+        replaying the engine (shard rebalance reads each shard's ingested
+        rows this way); defaults to the latest checkpoint.
+        """
+        from repro.datastore.io import database_from_dict
+
+        payload = self.load(info)
+        return database_from_dict(payload["database"])
+
     def _rehydrate(self, manifest: dict, info: CheckpointInfo) -> dict:
         """A segment manifest as a ``datastore.io`` v3 database dict."""
         from repro.datastore.segments import (SegmentError, segment_path,

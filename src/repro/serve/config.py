@@ -56,6 +56,22 @@ class ServeConfig:
     ``expected_updates``
         The optimizer's estimate of how many future delta batches this
         service will absorb (biases the sampling/variational choice).
+    ``shards``
+        Horizontal shard count.  ``1`` (the default) serves from a single
+        :class:`~repro.serve.service.KBService`;  ``> 1`` makes
+        :meth:`repro.serve.client.KBClient.create` build a
+        :class:`~repro.serve.shard.ShardedKBService` routing ingest by
+        document key over this many independent shards.
+    ``tenant_quota``
+        Default per-tenant admission quota: the maximum number of a
+        tenant's ingest operations that may be pending (submitted, not yet
+        committed) at once.  ``0`` means unlimited; individual tenants can
+        override it at :meth:`~repro.serve.shard.ShardedKBService.
+        register_tenant` time.
+    ``snapshot_history``
+        How many recently published snapshots each service retains for
+        :meth:`~repro.serve.service.KBService.snapshot_at` versioned reads
+        (the sharded router's LSN-vector reads resolve against these).
     """
 
     checkpoint_every: int = 4
@@ -70,6 +86,9 @@ class ServeConfig:
     refresh_burn_in: int = 15
     radius: int = 1
     expected_updates: int = 100
+    shards: int = 1
+    tenant_quota: int = 0
+    snapshot_history: int = 8
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 0:
@@ -95,6 +114,12 @@ class ServeConfig:
             raise ValueError("radius cannot be negative")
         if self.expected_updates < 1:
             raise ValueError("expected_updates must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.tenant_quota < 0:
+            raise ValueError("tenant_quota cannot be negative (0 = unlimited)")
+        if self.snapshot_history < 1:
+            raise ValueError("snapshot_history must be at least 1")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "ServeConfig":

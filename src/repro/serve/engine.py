@@ -49,6 +49,25 @@ DEFAULT_RUN_KWARGS = {"holdout_fraction": 0.0,
                       "compute_train_histogram": False}
 
 
+def base_relation_names(program, relation_names) -> list[str]:
+    """The relations in ``relation_names`` that hold *ingested* data.
+
+    Filters out everything the grounder fills (variable tuples, evidence
+    rows, derived views) under ``program``.  Shared by the rule-delta
+    rebuild (carry base data into the extended program) and shard rebalance
+    (carry base data into a new shard layout).
+    """
+    grounder_owned = {d.name for d in program.variable_relations()}
+    grounder_owned |= {f"{name}_Ev" for name in set(grounder_owned)}
+    grounder_owned |= {rule.head.relation
+                       for rule in program.supervision_rules}
+    grounder_owned |= {evidence_base(rule.head.relation)
+                       for rule in program.supervision_rules}
+    grounder_owned |= {rule.head.relation
+                       for rule in program.derivation_rules}
+    return [name for name in relation_names if name not in grounder_owned]
+
+
 class ServeEngine:
     """Single-writer state machine from ingest batches to KB versions."""
 
@@ -239,17 +258,7 @@ class ServeEngine:
     def _base_relation_names(self, app: DeepDive) -> list[str]:
         """Relations holding *ingested* data (as opposed to relations the
         grounder fills: variable tuples, evidence rows, derived views)."""
-        program = app.program
-        grounder_owned = {d.name for d in program.variable_relations()}
-        grounder_owned |= {f"{name}_Ev" for name in set(grounder_owned)}
-        grounder_owned |= {rule.head.relation
-                           for rule in program.supervision_rules}
-        grounder_owned |= {evidence_base(rule.head.relation)
-                           for rule in program.supervision_rules}
-        grounder_owned |= {rule.head.relation
-                           for rule in program.derivation_rules}
-        return [name for name in self.app.db.names()
-                if name not in grounder_owned]
+        return base_relation_names(app.program, self.app.db.names())
 
     def _rebuild_with_rules(self) -> dict:
         """The full re-extraction regime for rule deltas.
@@ -267,7 +276,9 @@ class ServeEngine:
                 relation = old_app.db[name]
                 if name not in new_app.db:
                     new_app.db.create(name, relation.schema)
-                new_app.db[name].insert_many(list(relation))
+                # row-iterator protocol: stream instead of list(relation),
+                # so a segmented relation never materializes in full here
+                new_app.db[name].insert_many(relation.iter_rows())
             self.app = new_app
             return self._full_run()
 

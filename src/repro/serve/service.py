@@ -67,6 +67,12 @@ class _Command:
     done: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: BaseException | None = None
+    #: False opts this command out of coalescing entirely (it neither
+    #: absorbs later commands nor folds into an earlier one).  The sharded
+    #: router relies on this: folding two routed batches into one shard
+    #: commit would make a later group's ops visible in an earlier group's
+    #: snapshot — a torn multi-shard read.
+    coalesce: bool = True
 
     def wait(self, timeout: float | None = None) -> object:
         if not self.done.wait(timeout):
@@ -77,18 +83,58 @@ class _Command:
         return self.result
 
 
+class PendingCommit:
+    """Handle for a batch submitted with ``wait=False``.
+
+    The sharded router's reaper (and any asynchronous producer) holds one
+    of these per shard touched by a batch: :meth:`wait` blocks until the
+    shard's apply loop commits (or fails) the batch and returns the
+    snapshot that includes it.
+    """
+
+    __slots__ = ("_command",)
+
+    def __init__(self, command: _Command) -> None:
+        self._command = command
+
+    def wait(self, timeout: float | None = None) -> Snapshot:
+        """Block until committed; the snapshot including this batch."""
+        return self._command.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        """True once the batch has been committed or failed."""
+        return self._command.done.is_set()
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._command.error
+
+
 class KBService:
     """A DeepDive application served online.  See the module docstring."""
 
     def __init__(self, engine: ServeEngine, directory: str | pathlib.Path,
                  wal: WriteAheadLog, checkpoints: CheckpointManager,
-                 snapshot: Snapshot, batches_since_checkpoint: int = 0) -> None:
+                 snapshot: Snapshot, batches_since_checkpoint: int = 0,
+                 history: Sequence[Snapshot] = ()) -> None:
         self.engine = engine
         self.config = engine.config
         self.directory = pathlib.Path(directory)
         self.wal = wal
         self.checkpoints = checkpoints
         self._snapshot = snapshot
+        # recently published snapshots, newest last, for snapshot_at();
+        # guarded by a lock because publishes (apply loop) and versioned
+        # reads (reader threads) would otherwise race the deque iteration
+        self._history_lock = threading.Lock()
+        self._history: collections.deque[Snapshot] = collections.deque(
+            maxlen=max(1, self.config.snapshot_history))
+        for past in history:
+            self._history.append(past)
+        if not self._history or self._history[-1] is not snapshot:
+            self._history.append(snapshot)
+        self._facade = None                      # lazy KBClient, reads only
         self._queue: queue.Queue[_Command] = queue.Queue(
             maxsize=self.config.queue_capacity)
         # commands pulled during coalescing that must run before new ones
@@ -106,14 +152,19 @@ class KBService:
         # application's engine config asks for parallelism: workers stay
         # warm across every batch this service commits, and stop()
         # releases the pin (the registry keeps the pool itself warm for
-        # the next service or caller).
+        # the next service or caller).  The pool is looked up under the app
+        # config's ``pool_owner`` partition token — ``None`` shares the
+        # process-wide pool, a sharded service's per-shard token gets
+        # private workers — so the pin here, the NLP fan-out, and replica
+        # sampling all land on the same pool.
         self._pool = None
         app_config = getattr(getattr(engine, "app", None), "config", None)
         if app_config is not None and app_config.workers > 0 \
                 and app_config.pool_warm:
             from repro.parallel import acquire_pool
             self._pool = acquire_pool(app_config.workers,
-                                      mode=app_config.parallel_mode)
+                                      mode=app_config.parallel_mode,
+                                      owner=app_config.pool_owner)
             engine.attach_pool(self._pool)
 
     # ------------------------------------------------------------ constructors
@@ -164,40 +215,52 @@ class KBService:
         wal = WriteAheadLog(directory / "ingest.wal", fsync=config.wal_fsync)
         checkpoint_lsn = int(payload["lsn"])
         snapshot = engine.current_snapshot(lsn=checkpoint_lsn)
+        history = [snapshot]
         replayed = 0
         with obs.span("serve.recovery", checkpoint_lsn=checkpoint_lsn) as sp:
             for record in wal.replay(after_lsn=checkpoint_lsn):
                 snapshot = engine.apply_batch(list(record.batch), record.lsn)
+                history.append(snapshot)
                 replayed += 1
             sp.set(replayed=replayed)
         service = cls(engine, directory, wal, checkpoints, snapshot,
-                      batches_since_checkpoint=replayed)
+                      batches_since_checkpoint=replayed, history=history)
         if start:
             service.start()
         return service
 
     # ---------------------------------------------------------------- ingest
-    def submit(self, op: IngestOp, timeout: float | None = None) -> None:
+    def submit(self, op: IngestOp,
+               timeout: float | None = None) -> PendingCommit:
         """Queue one operation (coalesced into a batch by the apply loop).
 
         Applies the configured admission policy when the queue is full:
         ``"block"`` waits (up to ``timeout``), ``"reject"`` raises
-        immediately.
+        immediately.  Returns a :class:`PendingCommit` handle for callers
+        that want to await (or inspect) the commit.
         """
-        self._enqueue(_Command("batch", (op,)), timeout)
+        command = _Command("batch", (op,))
+        self._enqueue(command, timeout)
+        return PendingCommit(command)
 
     def ingest(self, ops: Iterable[IngestOp], wait: bool = True,
-               timeout: float | None = None) -> Snapshot | None:
+               timeout: float | None = None,
+               coalesce: bool = True) -> Snapshot | PendingCommit:
         """Queue ``ops`` as one explicit batch (one WAL record, one commit).
 
         With ``wait=True`` blocks until the batch is applied and returns the
-        snapshot that includes it; otherwise returns None immediately.
+        snapshot that includes it; otherwise returns a
+        :class:`PendingCommit` immediately (the sharded router fans a batch
+        out this way and awaits the per-shard handles).  ``coalesce=False``
+        keeps this batch out of the apply loop's command folding in both
+        directions — the router needs each routed batch to commit exactly
+        as submitted so its group snapshots are never torn.
         """
-        command = _Command("batch", tuple(ops))
+        command = _Command("batch", tuple(ops), coalesce=coalesce)
         self._enqueue(command, timeout)
         if wait:
             return command.wait(timeout)
-        return None
+        return PendingCommit(command)
 
     def _enqueue(self, command: _Command, timeout: float | None) -> None:
         self._check_alive()
@@ -233,7 +296,7 @@ class KBService:
         command = _Command("batch", ())          # empty batch = barrier
         self._enqueue(command, timeout)
         command.wait(timeout)
-        return self.snapshot()
+        return self._read_snapshot()
 
     def checkpoint(self, timeout: float | None = None) -> CheckpointInfo:
         """Request a checkpoint from the apply loop and wait for it."""
@@ -242,8 +305,12 @@ class KBService:
         return command.wait(timeout)
 
     # ----------------------------------------------------------------- reads
-    def snapshot(self) -> Snapshot:
-        """The current published version (never blocks on ingest)."""
+    def _read_snapshot(self) -> Snapshot:
+        """The current published version (never blocks on ingest).
+
+        Facade plumbing: :class:`~repro.serve.client.KBClient` reads
+        through this accessor; application code should hold a client.
+        """
         started = perf_counter()
         current = self._snapshot                 # one atomic reference load
         if obs.enabled():
@@ -251,14 +318,63 @@ class KBService:
             obs.count("serve.reads")
         return current
 
+    def snapshot_at(self, lsn: int) -> Snapshot:
+        """The retained published snapshot whose LSN is exactly ``lsn``.
+
+        The service keeps the last ``config.snapshot_history`` published
+        versions (plus everything replayed at open); the sharded router's
+        LSN-vector reads resolve against these.  Raises :class:`KeyError`
+        when the requested version has aged out of the history window.
+        """
+        with self._history_lock:
+            retained = list(self._history)
+        for past in reversed(retained):
+            if past.lsn == lsn:
+                return past
+        raise KeyError(
+            f"no retained snapshot at lsn {lsn}; history covers "
+            f"{[past.lsn for past in retained]} "
+            f"(snapshot_history={self.config.snapshot_history})")
+
+    def lsn_vector(self) -> tuple[int, ...]:
+        """This service's published position as a length-1 LSN vector."""
+        return (self._read_snapshot().lsn,)
+
+    def client(self) -> "KBClient":
+        """The read/write facade over this service (cached).
+
+        The sanctioned query surface: ``service.client().query(...)``
+        behaves identically whether the backend is this single service or
+        a :class:`~repro.serve.shard.ShardedKBService`.
+        """
+        if self._facade is None:
+            from repro.serve.client import KBClient
+            self._facade = KBClient(self)
+        return self._facade
+
+    def snapshot(self) -> Snapshot:
+        """Deprecated direct read; use :meth:`client` / ``KBClient``."""
+        warnings.warn(
+            "reading KBService.snapshot() directly is deprecated; go "
+            "through the KBClient facade (service.client().snapshot())",
+            DeprecationWarning, stacklevel=2)
+        return self.client().snapshot()
+
     def query(self, relation: str, threshold: float | None = None) -> set:
-        """Accepted tuples of ``relation`` in the current version."""
-        with obs.span("serve.read", relation=relation):
-            return self.snapshot().output_tuples(relation, threshold)
+        """Deprecated direct read; use :meth:`client` / ``KBClient``."""
+        warnings.warn(
+            "reading KBService.query() directly is deprecated; go through "
+            "the KBClient facade (service.client().query(...))",
+            DeprecationWarning, stacklevel=2)
+        return self.client().query(relation, threshold)
 
     def marginal(self, key, default: float | None = None) -> float:
-        """One variable's probability in the current version."""
-        return self.snapshot().marginal(key, default)
+        """Deprecated direct read; use :meth:`client` / ``KBClient``."""
+        warnings.warn(
+            "reading KBService.marginal() directly is deprecated; go "
+            "through the KBClient facade (service.client().marginal(...))",
+            DeprecationWarning, stacklevel=2)
+        return self.client().marginal(key, default)
 
     # ------------------------------------------------------------ apply loop
     def start(self) -> None:
@@ -363,12 +479,14 @@ class KBService:
         Control commands and explicit multi-op batches stay queued — they
         commit on their own, in order, on the next loop iterations."""
         folded: list[_Command] = []
+        if not command.coalesce:
+            return folded
         while len(command.batch) < self.config.max_batch_ops:
             try:
                 nxt = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if nxt.kind == "batch" and len(nxt.batch) == 1:
+            if nxt.kind == "batch" and len(nxt.batch) == 1 and nxt.coalesce:
                 command.batch = command.batch + nxt.batch
                 folded.append(nxt)
             else:
@@ -391,6 +509,8 @@ class KBService:
             if hook is not None:
                 hook(lsn, command.batch)
             snapshot = self.engine.apply_batch(list(command.batch), lsn)
+            with self._history_lock:             # retained for snapshot_at
+                self._history.append(snapshot)
             self._snapshot = snapshot            # the publish: one reference
             command.result = snapshot
             sp.set(lsn=lsn, version=snapshot.version)

@@ -68,18 +68,20 @@ class TestLoadCorpus:
         """load_corpus reads the pool knobs off db.config when not passed."""
         captured = {}
 
-        def fake_preprocess(docs, **kwargs):
+        def fake_iter_rows(docs, **kwargs):
             captured.update(kwargs)
-            return [preprocess_document(d) for d in docs]
+            return [[pipeline.sentence_row(s) for s in preprocess_document(d)]
+                    for d in docs]
 
         import repro.nlp.pipeline as pipeline
-        monkeypatch.setattr(pipeline, "preprocess_corpus", fake_preprocess)
+        monkeypatch.setattr(pipeline, "iter_corpus_rows", fake_iter_rows)
         from repro.obs import EngineConfig
         db = Database(config=EngineConfig(workers=3, parallel_mode="fork",
                                           pool_warm=False, pool_min_work=7))
         load_corpus(db, documents(count=2))
         assert captured == {"workers": 3, "parallel_mode": "fork",
-                            "pool_warm": False, "pool_min_work": 7}
+                            "pool_warm": False, "pool_min_work": 7,
+                            "pool_owner": None}
 
     def test_bulk_load_single_version_bump(self):
         """Satellite: sequential load_corpus bulk-inserts, not row at a time."""

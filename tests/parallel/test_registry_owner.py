@@ -1,0 +1,83 @@
+"""Owner-partitioned pool registry: private pools, pins, shard sizing."""
+
+import pytest
+
+from repro.parallel import (acquire_pool, effective_cpus, get_pool, pool_pins,
+                            release_pool, shutdown_pools)
+from repro.parallel.registry import _POOLS
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+class TestOwnerPartition:
+    def test_same_owner_shares_one_pool(self):
+        first = get_pool(2, owner="shard-00")
+        second = get_pool(2, owner="shard-00")
+        assert first is not None and first is second
+
+    def test_distinct_owners_get_distinct_pools(self):
+        """The PR-6 registry keyed pools on (workers, mode) only, so two
+        shards asking for the same shape silently shared workers — and
+        serialized both shards' fan-outs through one set of processes."""
+        shared = get_pool(2)
+        a = get_pool(2, owner="shard-00")
+        b = get_pool(2, owner="shard-01")
+        assert a is not None and b is not None
+        assert a is not b
+        assert shared is not a and shared is not b
+
+    def test_anonymous_callers_share_the_default_partition(self):
+        assert get_pool(2) is get_pool(2, owner=None)
+
+    def test_owner_pools_are_rebuilt_after_close(self):
+        pool = get_pool(2, owner="shard-00")
+        pool.close()
+        fresh = get_pool(2, owner="shard-00")
+        assert fresh is not pool and not fresh.closed
+
+
+class TestPins:
+    def test_acquire_release_counts_per_owner(self):
+        pool = acquire_pool(2, owner="shard-00")
+        assert pool_pins(pool) == 1
+        assert acquire_pool(2, owner="shard-00") is pool
+        assert pool_pins(pool) == 2
+        release_pool(pool)
+        release_pool(pool)
+        assert pool_pins(pool) == 0
+        assert not pool.closed                   # stays warm for the next pin
+
+    def test_pins_do_not_leak_across_owners(self):
+        mine = acquire_pool(2, owner="shard-00")
+        other = get_pool(2, owner="shard-01")
+        assert pool_pins(mine) == 1
+        assert pool_pins(other) == 0
+
+    def test_release_is_idempotent_and_none_safe(self):
+        release_pool(None)
+        pool = acquire_pool(2, owner="shard-00")
+        release_pool(pool)
+        release_pool(pool)                       # extra release: clamped at 0
+        assert pool_pins(pool) == 0
+
+    def test_shutdown_clears_every_partition(self):
+        get_pool(2)
+        get_pool(2, owner="shard-00")
+        assert len(_POOLS) == 2
+        shutdown_pools()
+        assert len(_POOLS) == 0
+
+
+class TestEffectiveCpus:
+    def test_positive(self):
+        assert effective_cpus() >= 1
+
+    def test_shard_cap_formula_never_zero(self):
+        cpus = effective_cpus()
+        for shards in (1, 2, 4, 64):
+            assert max(1, min(8, cpus // shards)) >= 1

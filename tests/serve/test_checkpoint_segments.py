@@ -173,7 +173,7 @@ class TestServiceLevel:
         with live_service(tmp_path) as service:
             service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
             service.checkpoint()
-            marginals_before = dict(service.snapshot().marginals)
+            marginals_before = dict(service.client().snapshot().marginals)
         # the bootstrap + explicit checkpoints all carry manifests
         manager = service.checkpoints
         newest = manager.load()
@@ -182,6 +182,6 @@ class TestServiceLevel:
         recovered = KBService.open(tmp_path / "svc", make_app_factory(),
                                    run_kwargs=RUN_KWARGS, start=False)
         try:
-            assert dict(recovered.snapshot().marginals) == marginals_before
+            assert dict(recovered.client().snapshot().marginals) == marginals_before
         finally:
             recovered.stop()

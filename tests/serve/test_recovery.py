@@ -77,7 +77,7 @@ def test_recovery_is_bit_identical(tmp_path, checkpoint_every):
     recovered = KBService.open(tmp_path / "victim", make_app_factory(),
                                config=config, run_kwargs=RUN_KWARGS)
     with recovered:
-        snapshot = recovered.snapshot()
+        snapshot = recovered.client().snapshot()
         assert snapshot.version == control.version
         assert snapshot.lsn == control.lsn
         assert dict(snapshot.marginals) == dict(control.marginals)
@@ -112,7 +112,7 @@ def test_torn_apply_replays_the_durable_batch(tmp_path):
     recovered = KBService.open(tmp_path / "svc", make_app_factory(),
                                config=config, run_kwargs=RUN_KWARGS)
     with recovered:
-        snapshot = recovered.snapshot()
+        snapshot = recovered.client().snapshot()
         # both the acknowledged batch and the torn one (it hit the WAL) apply
         assert snapshot.lsn == 2
         for key, probability in acknowledged.marginals.items():
@@ -139,7 +139,7 @@ def test_recovery_after_torn_wal_append(tmp_path):
         recovered = KBService.open(tmp_path / "svc", make_app_factory(),
                                    config=config, run_kwargs=RUN_KWARGS)
     with recovered:
-        assert recovered.snapshot().lsn == 1     # the torn batch is gone
+        assert recovered.client().snapshot().lsn == 1     # the torn batch is gone
         # the client retries the unacknowledged batch; it lands at lsn 2
         after = recovered.ingest(BATCHES[1], wait=True)
         assert after.lsn == 2
@@ -152,7 +152,7 @@ def test_recovery_after_torn_wal_append(tmp_path):
                                   config=config, run_kwargs=RUN_KWARGS)
     assert not [w for w in caught if "truncated tail" in str(w.message)]
     with reopened:
-        snapshot = reopened.snapshot()
+        snapshot = reopened.client().snapshot()
         assert snapshot.lsn == 2
         assert dict(snapshot.marginals) == dict(after.marginals)
 
@@ -168,6 +168,6 @@ def test_recovery_without_wal_tail(tmp_path):
     recovered = KBService.open(tmp_path / "svc", make_app_factory(),
                                config=config, run_kwargs=RUN_KWARGS)
     with recovered:
-        snapshot = recovered.snapshot()
+        snapshot = recovered.client().snapshot()
     assert dict(snapshot.marginals) == dict(final.marginals)
     assert snapshot.lsn == final.lsn

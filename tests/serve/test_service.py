@@ -35,12 +35,12 @@ def stub_service(tmp_path, **config_changes):
 class TestIngestPath:
     def test_ingest_and_query(self, tmp_path):
         with live_service(tmp_path) as service:
-            v0 = service.snapshot()
+            v0 = service.client().snapshot()
             after = service.ingest(
                 [add_documents([("n0", "the grape sat there .")])], wait=True)
             assert after.version == v0.version + 1
-            assert service.snapshot().version == after.version
-            assert service.query("GoodName", threshold=0.0) \
+            assert service.client().snapshot().version == after.version
+            assert service.client().query("GoodName", threshold=0.0) \
                 >= v0.output_tuples("GoodName", threshold=0.0)
 
     def test_submit_coalesces_and_flush_applies_all(self, tmp_path):
@@ -56,7 +56,7 @@ class TestIngestPath:
 
     def test_explicit_batch_is_one_commit(self, tmp_path):
         with live_service(tmp_path) as service:
-            before = service.snapshot().version
+            before = service.client().snapshot().version
             after = service.ingest(
                 [add_documents([("n0", "the grape sat there .")]),
                  add_rows("GoodList", [("grape",)])], wait=True)
@@ -196,7 +196,7 @@ class TestConcurrentReads:
             def reader(slot):
                 last_version = -1
                 while not stop.is_set():
-                    snapshot = service.snapshot()
+                    snapshot = service.client().snapshot()
                     if snapshot.version < last_version:
                         failures.append(
                             f"version went backwards: {snapshot.version} "
@@ -206,7 +206,7 @@ class TestConcurrentReads:
                     # never change after publication
                     if len(snapshot) != len(dict(snapshot.marginals)):
                         failures.append("snapshot mutated underneath reader")
-                    service.query("GoodName")
+                    service.client().query("GoodName")
                     reads[slot] += 1
 
             threads = [threading.Thread(target=reader, args=(slot,))
@@ -225,16 +225,16 @@ class TestConcurrentReads:
             assert not failures
             # readers made progress *while* batches were applying
             assert all(count > 0 for count in reads)
-            assert service.snapshot().version == 3
+            assert service.client().snapshot().version == 3
 
     def test_snapshot_is_immutable_across_ingest(self, tmp_path):
         with live_service(tmp_path) as service:
-            held = service.snapshot()
+            held = service.client().snapshot()
             before = dict(held.marginals)
             service.ingest(
                 [add_documents([("n0", "the grape sat there .")])], wait=True)
             assert dict(held.marginals) == before
-            assert service.snapshot().version == held.version + 1
+            assert service.client().snapshot().version == held.version + 1
 
 
 class TestObservability:
@@ -243,8 +243,8 @@ class TestObservability:
         with obs.installed(collector):
             with live_service(tmp_path) as service:
                 service.ingest([add_rows("GoodList", [("fig",)])], wait=True)
-                service.query("GoodName")
-                service.snapshot()
+                service.client().query("GoodName")
+                service.client().snapshot()
         metrics = collector.metrics
         assert metrics.counter_total("serve.reads") >= 2
         assert metrics.counter_total("serve.ops.applied") == 1
@@ -259,7 +259,7 @@ class TestObservability:
         with obs.installed(collector):
             with live_service(tmp_path) as service:
                 worker = threading.Thread(
-                    target=lambda: service.query("GoodName"))
+                    target=lambda: service.client().query("GoodName"))
                 worker.start()
                 worker.join()
         names = {span.name for root in collector.roots
