@@ -51,8 +51,46 @@ AdLocation_Ev(ad, c, false) :-
     LocCandidate(s, m, ad, c, pos), KnownLocation(ad, c2), [c != c2].
 """
 
+#: The online (serving) flavour of the ads schema: contact details become
+#: *published* variable relations so the compliance layer has real PII to
+#: scrub at snapshot publish.  Supervision is positive-only distant
+#: supervision from the KnownPhone/KnownEmail samples the PII corpus emits
+#: (``AdsConfig(pii=True)``) — contact extraction is near-deterministic, so
+#: one-sided evidence is enough to drive accepted marginals high.
+SERVE_PROGRAM = """
+ContactSentence(s text, ad text, content text).
+PhoneCandidate(s text, m text, ad text, phone text, position int).
+EmailCandidate(s text, m text, ad text, email text, position int).
+AdPhone?(ad text, phone text).
+AdEmail?(ad text, email text).
+KnownPhone(ad text, phone text).
+KnownEmail(ad text, email text).
+
+AdPhone(ad, p) :-
+    PhoneCandidate(s, m, ad, p, pos), ContactSentence(s, ad, content)
+    weight = contact_features(pos, content).
+
+AdEmail(ad, e) :-
+    EmailCandidate(s, m, ad, e, pos), ContactSentence(s, ad, content)
+    weight = contact_features(pos, content).
+
+AdPhone_Ev(ad, p, true) :-
+    PhoneCandidate(s, m, ad, p, pos), KnownPhone(ad, p).
+
+AdEmail_Ev(ad, e, true) :-
+    EmailCandidate(s, m, ad, e, pos), KnownEmail(ad, e).
+"""
+
 NUMBER_PATTERN = re.compile(r"^\d[\d,]*$")
 PHONE_PATTERN = re.compile(r"\b(555-\d{4})\b")
+#: Serving-side contact shapes: parenthesized and dashed 10-digit numbers
+#: plus the classic 7-digit local form (ordered longest-first so a 10-digit
+#: number is never re-reported as its 7-digit tail).
+CONTACT_PHONE_PATTERN = re.compile(
+    r"\(\d{3}\)\s*\d{3}-\d{4}|(?<![\d-])\d{3}-\d{3}-\d{4}(?![\d-])"
+    r"|(?<![\d-])\d{3}-\d{4}(?![\d-])")
+EMAIL_PATTERN = re.compile(
+    r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b")
 
 
 def is_ad(doc_id: str) -> bool:
@@ -101,6 +139,70 @@ def price_features(position: int, content: str) -> list[str]:
 
 def loc_features(position: int, content: str) -> list[str]:
     return window_features(position, content, prefix="loc_")
+
+
+def contact_features(position: int, content: str) -> list[str]:
+    """Features for a contact candidate: a bias plus the word to its left
+    (``txt``, ``ph``, ``line``, ``email`` ... — how ads flag contacts)."""
+    features = ["contact_bias"]
+    left = content[:position].rstrip().rsplit(None, 1)
+    if left:
+        features.append(f"contact_left:{left[-1].lower()}")
+    return features
+
+
+def phone_candidate_extractor(sentence):
+    """Regex contact-phone candidates over the raw sentence text (token
+    splitting mangles parenthesized numbers, so spans are character-based)."""
+    if not is_ad(sentence.doc_id):
+        return []
+    return [(sentence.key, f"{sentence.key}:{m.start()}", sentence.doc_id,
+             m.group(0), m.start())
+            for m in CONTACT_PHONE_PATTERN.finditer(sentence.text)]
+
+
+def email_candidate_extractor(sentence):
+    if not is_ad(sentence.doc_id):
+        return []
+    return [(sentence.key, f"{sentence.key}:{m.start()}", sentence.doc_id,
+             m.group(0), m.start())
+            for m in EMAIL_PATTERN.finditer(sentence.text)]
+
+
+def make_serve_factory(seed: int = 0):
+    """An :data:`repro.serve.AppFactory` for the online ads application.
+
+    Builds a fresh, empty app per call (documents and KB rows arrive as
+    ingest operations); ``extra_rules`` carries any accumulated rule
+    deltas, per the factory contract.
+    """
+    def app_factory(extra_rules: str = "") -> DeepDive:
+        source = SERVE_PROGRAM + ("\n" + extra_rules if extra_rules else "")
+        app = DeepDive(source, seed=seed)
+        app.register_udf("contact_features", contact_features)
+        app.add_extractor("PhoneCandidate", phone_candidate_extractor,
+                          name="contact_phones")
+        app.add_extractor("EmailCandidate", email_candidate_extractor,
+                          name="contact_emails")
+        app.add_extractor(
+            "ContactSentence",
+            lambda s: [(s.key, s.doc_id, s.text)] if is_ad(s.doc_id) else [],
+            name="contact_sentences")
+        return app
+    return app_factory
+
+
+def serve_bootstrap_ops(corpus: GeneratedCorpus) -> list:
+    """Bootstrap operations for :func:`make_serve_factory` services: the
+    corpus documents plus the KnownPhone/KnownEmail supervision samples
+    (present when the corpus was generated with ``AdsConfig(pii=True)``)."""
+    from repro.serve import add_documents, add_rows
+    ops = [add_documents(corpus.documents)]
+    for relation in ("KnownPhone", "KnownEmail"):
+        rows = corpus.kb.get(relation, [])
+        if rows:
+            ops.append(add_rows(relation, rows))
+    return ops
 
 
 def phone_rows(documents) -> list[tuple]:

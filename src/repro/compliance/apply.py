@@ -1,0 +1,184 @@
+"""The snapshot-publish transform: scrub marginals without touching one.
+
+:func:`scrub_marginals` is what the serving engine calls while constructing
+every published :class:`~repro.serve.snapshot.Snapshot`: it rewrites the
+variable *keys* (``(relation, values_tuple)``) under a
+:class:`~repro.compliance.policy.CompliancePolicy` and copies the
+probabilities through untouched.  The guarantees the property suite pins:
+
+* probabilities are bit-identical — the scrub never recomputes, rounds, or
+  reorders a marginal, it only relabels (or drops) keys;
+* under ``anonymize`` the relabeling is *injective* (HMAC surrogates plus a
+  collision backstop), so acceptance decisions, joins, and dedup survive:
+  ``scrubbed.output_tuples(r)`` is exactly ``{transform(t) for t in
+  raw.output_tuples(r)}``;
+* the transform is a pure function of ``(marginals, schemas, policy)`` —
+  recovery replays publish the same scrubbed views bit for bit.
+
+Action semantics per column (see :mod:`repro.compliance.policy`): explicit
+rules transform the **whole cell value** (the operator declared the column
+sensitive, matched or not); the detection-driven default action transforms
+**detected spans only**, leaving non-PII cells of a mixed column alone.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Mapping, Sequence
+
+from repro import obs
+from repro.compliance.anonymizer import Anonymizer
+from repro.compliance.detectors import DEFAULT_DETECTORS, Detector, mask
+from repro.compliance.manifest import ColumnReport, ComplianceManifest
+from repro.compliance.policy import CompliancePolicy
+from repro.compliance.scanner import Scanner
+
+
+def scrub_value(value, action: str, detector: str, anonymizer: Anonymizer,
+                detections=None):
+    """One cell under one action.
+
+    With ``detections`` (the detection-driven path) only the detected spans
+    are rewritten; without (the explicit-rule path) the whole value is.
+    """
+    if action == "allow":
+        return value
+    text = value if isinstance(value, str) else str(value)
+    if detections:
+        if action == "anonymize":
+            return anonymizer.anonymize_text(text, detections)
+        return anonymizer.redact_text(text, detections)
+    if action == "anonymize":
+        return anonymizer.surrogate(detector, text)
+    return f"[REDACTED:{detector}]"
+
+
+def scrub_marginals(marginals: Mapping,
+                    schemas: Mapping[str, Sequence[str]] | None,
+                    policy: CompliancePolicy,
+                    anonymizer: Anonymizer | None = None,
+                    detectors: Sequence[Detector] = DEFAULT_DETECTORS,
+                    ) -> tuple[dict, ComplianceManifest]:
+    """``(scrubbed_marginals, manifest)`` for one publish.  See above."""
+    started = perf_counter()
+    schemas = schemas or {}
+    anonymizer = anonymizer if anonymizer is not None \
+        else Anonymizer(policy.key)
+    scanner = Scanner(policy, detectors)
+
+    # ---- pass 1: detect every distinct cell once, decide column actions
+    grouped: dict[str, list[tuple]] = {}
+    for (relation, values) in marginals:
+        grouped.setdefault(relation, []).append(values)
+
+    # (relation, column_index) -> {"action", "detector", "reports"}
+    column_plan: dict[tuple[str, int], dict] = {}
+    # (relation, column_index, cell) -> [Detection] at/above min_confidence
+    cell_hits: dict[tuple[str, int, object], list] = {}
+    for relation, rows in grouped.items():
+        width = max(len(values) for values in rows)
+        names = list(schemas.get(relation, ()))[:width]
+        names += [f"col{i}" for i in range(len(names), width)]
+        for index, column in enumerate(names):
+            per_detector: dict[str, list] = {}
+            scanned = 0
+            for values in rows:
+                if len(values) <= index:
+                    continue
+                cell = values[index]
+                scanned += 1
+                key = (relation, index, cell)
+                if key not in cell_hits:
+                    cell_hits[key] = [
+                        d for d in scanner.detect_value(cell)
+                        if d.confidence >= policy.min_confidence]
+                for detection in cell_hits[key]:
+                    per_detector.setdefault(detection.detector,
+                                            []).append(detection)
+            dominant = max(per_detector,
+                           key=lambda name: (len(per_detector[name]),
+                                             name)) if per_detector else None
+            explicit = policy.action_for(relation, column)
+            if explicit is not None:
+                action = explicit
+            elif per_detector and policy.default_action != "allow":
+                action = policy.default_action
+            else:
+                action = "allow"
+            reports = []
+            for name in sorted(per_detector):
+                detections = per_detector[name]
+                examples = []
+                for detection in detections:
+                    masked = mask(detection.value)
+                    if masked not in examples:
+                        examples.append(masked)
+                    if len(examples) >= policy.max_examples:
+                        break
+                reports.append(ColumnReport(
+                    relation=relation, column=column, detector=name,
+                    rows_scanned=scanned, hits=len(detections),
+                    confidence=(sum(d.confidence for d in detections)
+                                / len(detections)),
+                    examples=tuple(examples), action=action))
+            if explicit is not None and explicit != "allow" \
+                    and not reports:
+                # the operator ruled a column the detectors missed; record
+                # the action so the manifest shows the full applied policy
+                reports.append(ColumnReport(
+                    relation=relation, column=column, detector="rule",
+                    rows_scanned=scanned, hits=scanned, confidence=1.0,
+                    examples=(), action=action))
+            column_plan[(relation, index)] = {
+                "action": action, "explicit": explicit is not None,
+                "detector": dominant if dominant is not None else "value",
+                "reports": reports}
+
+    # ---- pass 2: rebuild the mapping in original publish order
+    scrubbed: dict = {}
+    dropped = rewritten = collisions = 0
+    for (relation, values), probability in marginals.items():
+        new_values = []
+        drop = False
+        changed = False
+        for index, cell in enumerate(values):
+            plan = column_plan.get((relation, index))
+            if plan is None or plan["action"] == "allow":
+                new_values.append(cell)
+                continue
+            if plan["action"] == "drop":
+                drop = True
+                break
+            if plan["explicit"]:
+                new_cell = scrub_value(cell, plan["action"],
+                                       plan["detector"], anonymizer)
+            else:
+                detections = cell_hits.get((relation, index, cell), ())
+                new_cell = scrub_value(cell, plan["action"],
+                                       plan["detector"], anonymizer,
+                                       detections=detections) \
+                    if detections else cell
+            changed = changed or new_cell != cell
+            new_values.append(new_cell)
+        if drop:
+            dropped += 1
+            continue
+        key = (relation, tuple(new_values))
+        if key in scrubbed:
+            collisions += 1                      # only reachable via redact
+        if changed:
+            rewritten += 1
+        scrubbed[key] = probability
+
+    reports = [report
+               for (_rel, _idx) in sorted(column_plan)
+               for report in column_plan[(_rel, _idx)]["reports"]]
+    manifest = ComplianceManifest(source="publish", reports=tuple(reports),
+                                  rows_scanned=len(marginals))
+    if obs.enabled():
+        obs.observe("compliance.publish.seconds", perf_counter() - started)
+        obs.count("compliance.publish.rewritten", rewritten)
+        obs.count("compliance.publish.dropped", dropped)
+        if collisions:
+            obs.count("compliance.publish.collisions", collisions)
+    return scrubbed, manifest

@@ -36,17 +36,64 @@ FORUM_TEMPLATES = [
 ]
 
 
+#: PII sentence shapes appended to ads when ``AdsConfig.pii`` is on.  The
+#: formats deliberately match what real listings print — and what the
+#: compliance detectors (:mod:`repro.compliance.detectors`) recognise:
+#: dashed and parenthesized 10-digit phones, emails, SSN-shaped strings.
+PII_CONTACT_TEMPLATES = [
+    "email {email} for pics .",
+    "questions ? {email} anytime .",
+    "office line {full_phone} , ask for the manager .",
+    "landlord direct : {full_phone} .",
+]
+
+PII_SSN_TEMPLATES = [
+    "application needs ref no {ssn} on file .",
+    "they asked for my number {ssn} , is that normal ??",
+]
+
+
 @dataclass(frozen=True)
 class AdsConfig:
-    """Size and noise parameters for the ads corpus."""
+    """Size and noise parameters for the ads corpus.
+
+    ``pii``
+        When true, ads additionally embed realistic PII shapes — contact
+        emails, dashed/parenthesized 10-digit phone numbers, and (in a few
+        forum posts) SSN-shaped strings — with ground truth recorded under
+        ``truth["ad_email"]`` / ``truth["ad_contact_phone"]`` and
+        ``metadata["pii_ssns"]``.  Off by default: the classic corpus (and
+        every ad's text) is byte-identical to ``pii=False`` generations.
+    """
 
     num_ads: int = 40
     forum_posts_per_ad: float = 0.5
     noise: NoiseConfig = NoiseConfig()
+    pii: bool = False
 
 
 def _phone(rng: np.random.Generator) -> str:
     return f"555-{int(rng.integers(0, 10000)):04d}"
+
+
+def _full_phone(rng: np.random.Generator) -> str:
+    """A 10-digit contact number, dashed or parenthesized."""
+    area = int(rng.integers(200, 800))
+    last = int(rng.integers(0, 10000))
+    if rng.random() < 0.5:
+        return f"({area}) 555-{last:04d}"
+    return f"{area}-555-{last:04d}"
+
+
+def _email(rng: np.random.Generator, city: str, i: int) -> str:
+    return f"host{i}.{city.lower()}@rentalmail.net"
+
+
+def _ssn(rng: np.random.Generator) -> str:
+    """An SSN-shaped string with a plausible area prefix."""
+    return (f"{int(rng.integers(100, 700)):03d}-"
+            f"{int(rng.integers(10, 100)):02d}-"
+            f"{int(rng.integers(1000, 10000)):04d}")
 
 
 def generate(config: AdsConfig = AdsConfig(), seed: int = 0) -> GeneratedCorpus:
@@ -59,6 +106,12 @@ def generate(config: AdsConfig = AdsConfig(), seed: int = 0) -> GeneratedCorpus:
     known_prices: list[tuple] = []
     known_locations: list[tuple] = []
     ad_phones: list[tuple[str, str, str]] = []   # (ad_id, phone, city)
+
+    email_truth: set[tuple] = set()
+    contact_truth: set[tuple] = set()
+    known_phones: list[tuple] = []
+    known_emails: list[tuple] = []
+    pii_ssns: list[tuple[str, str]] = []
 
     phones_seen: set[str] = set()
     for i in range(config.num_ads):
@@ -74,6 +127,26 @@ def generate(config: AdsConfig = AdsConfig(), seed: int = 0) -> GeneratedCorpus:
         template = AD_TEMPLATES[int(rng.integers(0, len(AD_TEMPLATES)))]
         text = template.format(city=city, price=price, deposit=deposit,
                                sqft=sqft, phone=phone)
+        if config.pii:
+            # PII draws happen strictly after the classic draws, so the
+            # classic corpus stays byte-identical when pii is off
+            email = _email(rng, city, i)
+            full_phone = _full_phone(rng)
+            pii_template = PII_CONTACT_TEMPLATES[
+                int(rng.integers(0, len(PII_CONTACT_TEMPLATES)))]
+            text = text + " " + pii_template.format(email=email,
+                                                    full_phone=full_phone)
+            if "{email}" in pii_template:
+                email_truth.add((ad_id, email))
+                if rng.random() < config.noise.kb_coverage:
+                    known_emails.append((ad_id, email))
+            else:
+                contact_truth.add((ad_id, full_phone))
+                if rng.random() < config.noise.kb_coverage:
+                    known_phones.append((ad_id, full_phone))
+            # the classic short phone is contact PII too; supervise a sample
+            if rng.random() < config.noise.kb_coverage:
+                known_phones.append((ad_id, phone))
         documents.append(Document(ad_id, text))
         price_truth.add((ad_id, str(price)))
         location_truth.add((ad_id, city))
@@ -89,13 +162,26 @@ def generate(config: AdsConfig = AdsConfig(), seed: int = 0) -> GeneratedCorpus:
     for j in range(num_posts):
         ad_id, phone, city = ad_phones[int(rng.integers(0, len(ad_phones)))]
         template = FORUM_TEMPLATES[int(rng.integers(0, len(FORUM_TEMPLATES)))]
-        documents.append(Document(f"forum{j:04d}",
-                                  template.format(city=city, phone=phone)))
+        text = template.format(city=city, phone=phone)
+        doc_id = f"forum{j:04d}"
+        if config.pii and rng.random() < 0.25:
+            ssn = _ssn(rng)
+            ssn_template = PII_SSN_TEMPLATES[
+                int(rng.integers(0, len(PII_SSN_TEMPLATES)))]
+            text = text + " " + ssn_template.format(ssn=ssn)
+            pii_ssns.append((doc_id, ssn))
+        documents.append(Document(doc_id, text))
 
+    truth = {"ad_price": price_truth, "ad_location": location_truth,
+             "ad_phone": phone_truth}
+    kb = {"KnownPrice": known_prices, "KnownLocation": known_locations}
+    metadata = {"config": config, "cities": CITIES, "ad_phones": ad_phones}
+    if config.pii:
+        truth["ad_email"] = email_truth
+        truth["ad_contact_phone"] = contact_truth
+        kb["KnownPhone"] = known_phones
+        kb["KnownEmail"] = known_emails
+        metadata["pii_ssns"] = pii_ssns
     return GeneratedCorpus(
-        documents=documents,
-        truth={"ad_price": price_truth, "ad_location": location_truth,
-               "ad_phone": phone_truth},
-        kb={"KnownPrice": known_prices, "KnownLocation": known_locations},
-        metadata={"config": config, "cities": CITIES, "ad_phones": ad_phones},
+        documents=documents, truth=truth, kb=kb, metadata=metadata,
     )

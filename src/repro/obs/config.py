@@ -287,3 +287,47 @@ def serve_env_overrides(environ: Mapping[str, str] | None = None) -> dict:
         except ValueError:
             continue
     return overrides
+
+
+# ----------------------------------------------------------- compliance env
+#: Environment fallbacks honoured by
+#: ``repro.compliance.CompliancePolicy.from_env``.  Parsed here (and only
+#: here) to preserve the single-reader hygiene rule; the policy dataclass
+#: lives in ``repro.compliance.policy`` next to the subsystem it steers.
+#: ``rules`` stays a raw ``"relation.column=action,..."`` string — the
+#: policy module owns the rule grammar.
+COMPLIANCE_ENV_VARS = {
+    "enabled": "REPRO_COMPLIANCE_ENABLED",
+    "default_action": "REPRO_COMPLIANCE_ACTION",
+    "min_confidence": "REPRO_COMPLIANCE_MIN_CONFIDENCE",
+    "key": "REPRO_COMPLIANCE_KEY",
+    "rules": "REPRO_COMPLIANCE_RULES",
+    "sample_rows": "REPRO_COMPLIANCE_SAMPLE_ROWS",
+    "max_examples": "REPRO_COMPLIANCE_MAX_EXAMPLES",
+}
+
+_COMPLIANCE_PARSERS = {
+    "enabled": lambda raw: raw.strip().lower() in _TRUTHY,
+    "default_action": str,
+    "min_confidence": float,
+    "key": str,
+    "rules": str,
+    "sample_rows": int,
+    "max_examples": int,
+}
+
+
+def compliance_env_overrides(environ: Mapping[str, str] | None = None) -> dict:
+    """Parse ``REPRO_COMPLIANCE_*`` fallbacks into CompliancePolicy keyword
+    overrides — read once, leniently, in this module and nowhere else."""
+    env = os.environ if environ is None else environ
+    overrides: dict = {}
+    for field_name, var in COMPLIANCE_ENV_VARS.items():
+        raw = env.get(var)
+        if raw is None:
+            continue
+        try:
+            overrides[field_name] = _COMPLIANCE_PARSERS[field_name](raw)
+        except ValueError:
+            continue
+    return overrides

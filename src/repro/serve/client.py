@@ -133,6 +133,34 @@ class KBClient:
                 f"got {len(vector)}")
         return self._service.snapshot_at(vector[0])
 
+    # ------------------------------------------------------------- compliance
+    def compliance_manifest(self):
+        """The :class:`~repro.compliance.manifest.ComplianceManifest` of the
+        current published view, or ``None`` when no compliance policy was
+        active at publish time.
+
+        This is the *publish-time* record — which columns were detected,
+        which action each received, masked examples — for the exact view
+        :meth:`snapshot` returns.  For an on-demand audit of the raw store,
+        use :meth:`scan`.
+        """
+        return self.snapshot().manifest
+
+    def scan(self, policy=None, timeout: float | None = None):
+        """Audit the raw store: run the compliance scanner over every
+        relation (on every shard when sharded) and return the merged
+        :class:`~repro.compliance.manifest.ComplianceManifest`.
+
+        ``policy`` defaults to the backend's configured compliance policy;
+        pass an explicit :class:`~repro.compliance.policy.CompliancePolicy`
+        to audit with different detector thresholds or sampling.  The scan
+        rides each apply loop, so it sees a consistent store — but unlike
+        published snapshots it reports *raw* (masked) values: this is the
+        discovery surface operators use before choosing a policy.
+        """
+        with obs.span("serve.scan"):
+            return self._service.scan(policy, timeout=timeout)
+
     # ----------------------------------------------------------------- writes
     def ingest(self, ops: Iterable[IngestOp], wait: bool = True,
                timeout: float | None = None, tenant: str | None = None):

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping
 
+from repro.compliance.policy import CompliancePolicy
 from repro.obs.config import serve_env_overrides
 
 VALID_ADMISSION = ("block", "reject")
@@ -72,6 +73,13 @@ class ServeConfig:
         How many recently published snapshots each service retains for
         :meth:`~repro.serve.service.KBService.snapshot_at` versioned reads
         (the sharded router's LSN-vector reads resolve against these).
+    ``compliance``
+        The :class:`~repro.compliance.policy.CompliancePolicy` applied at
+        snapshot publish: reader-visible views are scrubbed per its
+        per-relation/per-column actions while the WAL and checkpoints keep
+        the raw ground truth.  Disabled by default (compliance is opt-in);
+        shards inherit the router's policy, so a sharded service scrubs
+        identically on every shard.
     """
 
     checkpoint_every: int = 4
@@ -89,6 +97,7 @@ class ServeConfig:
     shards: int = 1
     tenant_quota: int = 0
     snapshot_history: int = 8
+    compliance: CompliancePolicy = CompliancePolicy()
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 0:
@@ -120,12 +129,16 @@ class ServeConfig:
             raise ValueError("tenant_quota cannot be negative (0 = unlimited)")
         if self.snapshot_history < 1:
             raise ValueError("snapshot_history must be at least 1")
+        if not isinstance(self.compliance, CompliancePolicy):
+            raise ValueError("compliance must be a CompliancePolicy")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "ServeConfig":
         """Defaults overridden by any valid serve env vars (see
-        ``repro.obs.config.SERVE_ENV_VARS`` for the names)."""
+        ``repro.obs.config.SERVE_ENV_VARS``) plus any compliance
+        policy vars (``repro.obs.config.COMPLIANCE_ENV_VARS``)."""
         overrides = serve_env_overrides(environ)
+        overrides["compliance"] = CompliancePolicy.from_env(environ)
         try:
             return cls(**overrides)
         except ValueError:

@@ -19,11 +19,16 @@ the same numbers the crashed service would have published.  Concurrency
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.compliance.anonymizer import Anonymizer
+from repro.compliance.apply import scrub_marginals
+from repro.compliance.manifest import ComplianceManifest
+from repro.compliance.policy import CompliancePolicy
+from repro.compliance.scanner import Scanner
 from repro.core.app import DeepDive
 from repro.datastore.io import database_from_dict, database_to_dict
 from repro.ddlog.validate import evidence_base
@@ -91,6 +96,10 @@ class ServeEngine:
         self._world: dict[Hashable, bool] = {}
         self._marginals: dict[Hashable, float] = {}
         self._mu: dict[Hashable, float] = {}
+        # publish-time compliance: one anonymizer for the engine's lifetime
+        # so the surrogate-collision backstop spans every version published
+        # by this writer (surrogates themselves are pure HMAC functions)
+        self._anonymizer = Anonymizer(self.config.compliance.key)
 
     def attach_pool(self, pool) -> None:
         """Adopt a warm :class:`~repro.parallel.warm.WorkerPool`.
@@ -283,17 +292,52 @@ class ServeEngine:
             return self._full_run()
 
     # ------------------------------------------------------------ publishing
+    def _variable_schemas(self) -> dict[str, tuple[str, ...]]:
+        """Column names per variable relation, for per-column policies."""
+        return {d.name: tuple(name for name, _type in d.columns)
+                for d in self.app.program.variable_relations()}
+
     def _publish(self, marginals: dict, lsn: int, refresh: str) -> Snapshot:
         self.version += 1
+        marginals = dict(marginals)
+        manifest = None
+        policy = self.config.compliance
+        if policy.enabled:
+            # the one choke point every reader-visible view passes through:
+            # scrub the published relabeling, keep the raw store (WAL,
+            # checkpoints, incremental state) untouched.  The transform is
+            # a pure function of (marginals, schemas, policy), so recovery
+            # replays republish bit-identical scrubbed views.
+            with obs.span("compliance.publish", version=self.version) as sp:
+                marginals, manifest = scrub_marginals(
+                    marginals, self._variable_schemas(), policy,
+                    anonymizer=self._anonymizer)
+                sp.set(findings=len(manifest))
         return Snapshot(
             version=self.version,
             lsn=lsn,
-            marginals=dict(marginals),
+            marginals=marginals,
             threshold=self.threshold,
             refresh=refresh,
             graph_stats=self.app.graph.stats(),
             relation_counts=self.app.db.stats(),
+            manifest=manifest,
         )
+
+    # ------------------------------------------------------------- auditing
+    def scan(self, policy: CompliancePolicy | None = None,
+             relations: Sequence[str] | None = None) -> ComplianceManifest:
+        """Offline PII sweep over the engine's *raw* datastore.
+
+        Scans every relation (documents, candidate tables, KB facts —
+        not just the published variables) column-by-column and returns the
+        manifest.  Runs with the service's policy by default; pass one for
+        ad-hoc audits.  The service routes this through its apply loop so
+        the sweep sees a consistent store.
+        """
+        policy = policy if policy is not None else self.config.compliance
+        return Scanner(policy).scan_database(self.app.db,
+                                             relations=relations)
 
     # ---------------------------------------------------------- checkpointing
     def checkpoint_payload(self, inline_database: bool = True) -> dict:

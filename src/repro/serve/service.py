@@ -39,7 +39,7 @@ import threading
 import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.serve.checkpoint import CheckpointInfo, CheckpointManager
@@ -48,6 +48,10 @@ from repro.serve.engine import AppFactory, ServeEngine
 from repro.serve.ops import IngestOp
 from repro.serve.snapshot import Snapshot
 from repro.serve.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compliance.manifest import ComplianceManifest
+    from repro.compliance.policy import CompliancePolicy
 
 
 class IngestRejected(RuntimeError):
@@ -60,10 +64,11 @@ class ServiceFailed(RuntimeError):
 
 @dataclass
 class _Command:
-    """One queue item: a data batch or a checkpoint request."""
+    """One queue item: a data batch, a checkpoint, or a compliance scan."""
 
-    kind: str                                   # "batch" | "checkpoint"
+    kind: str                                   # "batch" | "checkpoint" | "scan"
     batch: tuple[IngestOp, ...] = ()
+    payload: object = None                      # e.g. a scan's policy
     done: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: BaseException | None = None
@@ -304,6 +309,25 @@ class KBService:
         self._enqueue(command, timeout)
         return command.wait(timeout)
 
+    def scan(self, policy: "CompliancePolicy | None" = None,
+             timeout: float | None = None) -> "ComplianceManifest":
+        """Audit the *raw* store: run the compliance scanner over every
+        relation and return its :class:`~repro.compliance.manifest.
+        ComplianceManifest`.
+
+        The scan rides the apply loop (like :meth:`checkpoint`), so it
+        observes a consistent store with no batch half-applied under it.
+        It reads the raw relations — unlike published snapshots it is not
+        scrubbed, which is the point: operators use it to discover what
+        PII the store actually holds before choosing a policy.  ``policy``
+        defaults to the service's configured compliance policy (detectors
+        and sampling options are honoured; actions are reported, not
+        applied).
+        """
+        command = _Command("scan", payload=policy)
+        self._enqueue(command, timeout)
+        return command.wait(timeout)
+
     # ----------------------------------------------------------------- reads
     def _read_snapshot(self) -> Snapshot:
         """The current published version (never blocks on ingest).
@@ -436,10 +460,10 @@ class KBService:
             try:
                 self._commit(command)
             except BaseException as error:      # simulated crashes included
-                if command.kind == "checkpoint":
-                    # a failed checkpoint save leaves the previous
-                    # checkpoint and all serving state intact: fail the
-                    # requester, keep serving
+                if command.kind in ("checkpoint", "scan"):
+                    # a failed checkpoint save (or audit scan) leaves the
+                    # previous checkpoint and all serving state intact:
+                    # fail the requester, keep serving
                     command.error = error
                     command.done.set()
                     continue
@@ -499,6 +523,11 @@ class KBService:
     def _commit(self, command: _Command) -> None:
         if command.kind == "checkpoint":
             command.result = self._do_checkpoint()
+            return
+        if command.kind == "scan":
+            # run inside the apply loop so the scanner sees a quiescent
+            # store — no batch is ever half-applied under it
+            command.result = self.engine.scan(command.payload)
             return
         if not command.batch:                    # flush barrier
             return

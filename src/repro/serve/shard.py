@@ -51,7 +51,7 @@ import os
 import pathlib
 import queue
 import threading
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.serve.config import ServeConfig
@@ -61,6 +61,10 @@ from repro.serve.ops import (AddDocuments, AddRows, AddRules, IngestOp,
 from repro.serve.service import (IngestRejected, KBService, PendingCommit,
                                  ServiceFailed)
 from repro.serve.snapshot import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compliance.manifest import ComplianceManifest
+    from repro.compliance.policy import CompliancePolicy
 
 #: The router's on-disk manifest: how many shards live under a directory.
 MANIFEST_NAME = "shards.json"
@@ -188,6 +192,14 @@ class MergedSnapshot:
                 merged.update(part.marginals)
             self._merged = merged
         return merged
+
+    @property
+    def manifest(self) -> "ComplianceManifest | None":
+        """The merged compliance manifest over the scrubbed parts, or
+        ``None`` when no part carried one (compliance disabled)."""
+        from repro.compliance.manifest import ComplianceManifest
+        return ComplianceManifest.merge_all(
+            part.manifest for part in self.parts)
 
     # ------------------------------------------------------------ query API
     def marginal(self, key: Hashable, default: float | None = None) -> float:
@@ -580,6 +592,24 @@ class ShardedKBService:
         """Flush, then checkpoint every shard; per-shard infos in order."""
         self.flush(timeout)
         return [shard.checkpoint(timeout) for shard in self.shards]
+
+    def scan(self, policy: "CompliancePolicy | None" = None,
+             timeout: float | None = None) -> "ComplianceManifest":
+        """Audit every shard's raw store and merge the manifests.
+
+        Fans a :meth:`KBService.scan` to each shard (each rides its own
+        apply loop, so each component is internally consistent) and merges
+        the per-shard manifests column-wise — broadcast relations are
+        counted once per shard, document-routed relations partition
+        naturally.  Like the single-shard scan this reads the *raw* store,
+        not the scrubbed published view.
+        """
+        from repro.compliance.manifest import ComplianceManifest
+        self._check_alive()
+        merged = ComplianceManifest.merge_all(
+            shard.scan(policy, timeout=timeout) for shard in self.shards)
+        assert merged is not None                # every shard returns one
+        return merged
 
     # ------------------------------------------------------------------ reads
     def _read_snapshot(self) -> MergedSnapshot:

@@ -12,7 +12,10 @@ nothing that aliases the writer's mutable state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compliance.manifest import ComplianceManifest
 
 VariableKey = tuple[str, tuple]
 
@@ -34,6 +37,12 @@ class Snapshot:
         How this version's marginals were produced: ``"full_run"``,
         ``"sampling"``, ``"variational"``, or ``"none"`` (no touched
         variables — previous marginals carried over).
+    ``manifest``
+        The :class:`~repro.compliance.manifest.ComplianceManifest` of the
+        publish-time scrub that produced this view, or ``None`` when no
+        compliance policy was active.  A manifest means the marginal keys
+        readers see are the *scrubbed* relabeling; the WAL and checkpoints
+        keep the raw ground truth.
     """
 
     version: int
@@ -43,6 +52,7 @@ class Snapshot:
     refresh: str = "full_run"
     graph_stats: Mapping[str, int] = field(default_factory=dict)
     relation_counts: Mapping[str, int] = field(default_factory=dict)
+    manifest: "ComplianceManifest | None" = None
 
     # ------------------------------------------------------------ query API
     def marginal(self, key: Hashable, default: float | None = None) -> float:

@@ -1,0 +1,117 @@
+"""Detector battery unit tests: shapes, confidences, span dedup, masking."""
+
+from repro.compliance.detectors import (DEFAULT_DETECTORS, DETECTOR_NAMES,
+                                        CreditCardDetector, EmailDetector,
+                                        LocationDetector, PhoneDetector,
+                                        SsnDetector, default_detectors,
+                                        luhn_valid, mask)
+
+
+def names(detections):
+    return [d.detector for d in detections]
+
+
+# ------------------------------------------------------------------- email
+def test_email_basic():
+    found = EmailDetector().detect("write to ann.smith+x@mail.example.org !")
+    assert [d.value for d in found] == ["ann.smith+x@mail.example.org"]
+    assert found[0].confidence > 0.9
+
+
+def test_email_span_offsets():
+    text = "a@b.co and c@d.io"
+    found = EmailDetector().detect(text)
+    assert [text[d.start:d.end] for d in found] == ["a@b.co", "c@d.io"]
+
+
+def test_email_no_false_positive_on_bare_at():
+    assert EmailDetector().detect("meet @ noon") == []
+
+
+# ------------------------------------------------------------------- phone
+def test_phone_formats_and_confidence_ordering():
+    det = PhoneDetector()
+    paren = det.detect("call (555) 301-0187 now")
+    dashed = det.detect("call 555-301-0187 now")
+    local = det.detect("call 555-0187 now")
+    assert [d.value for d in paren] == ["(555) 301-0187"]
+    assert [d.value for d in dashed] == ["555-301-0187"]
+    assert [d.value for d in local] == ["555-0187"]
+    assert paren[0].confidence > dashed[0].confidence > local[0].confidence
+
+
+def test_phone_ten_digit_not_double_counted_as_seven():
+    found = PhoneDetector().detect("392-555-0187")
+    assert [d.value for d in found] == ["392-555-0187"]
+
+
+def test_phone_detections_sorted_by_start():
+    found = PhoneDetector().detect("555-0187 then (555) 301-0187")
+    assert [d.start for d in found] == sorted(d.start for d in found)
+
+
+# --------------------------------------------------------------------- ssn
+def test_ssn_plausible_area_scores_high():
+    found = SsnDetector().detect("ref 457-55-5462 please")
+    assert names(found) == ["ssn"]
+    assert found[0].confidence == 0.9
+
+
+def test_ssn_implausible_area_scores_low():
+    for bogus in ("000-12-3456", "666-12-3456", "957-12-3456"):
+        found = SsnDetector().detect(bogus)
+        assert found[0].confidence == 0.4
+
+
+def test_ssn_does_not_match_ten_digit_phone():
+    assert SsnDetector().detect("392-555-0187") == []
+
+
+# ------------------------------------------------------------- credit card
+def test_luhn():
+    assert luhn_valid("4111111111111111")
+    assert not luhn_valid("4111111111111112")
+
+
+def test_credit_card_luhn_gates_confidence():
+    det = CreditCardDetector()
+    valid = det.detect("card 4111 1111 1111 1111 on file")
+    bogus = det.detect("order 4111111111111112 shipped")
+    assert valid[0].confidence == 0.95
+    assert bogus[0].confidence == 0.3
+
+
+# ---------------------------------------------------------------- location
+def test_location_person_adjacent_scores_higher():
+    det = LocationDetector()
+    adjacent = det.detect("she lives in Fairview these days")
+    editorial = det.detect("Fairview council voted tuesday")
+    assert adjacent[0].confidence == 0.8
+    assert editorial[0].confidence == 0.5
+
+
+def test_location_custom_gazetteer():
+    det = LocationDetector(places=("Quuxton",))
+    assert [d.value for d in det.detect("moved to Quuxton")] == ["Quuxton"]
+    assert det.detect("moved to Fairview") == []
+
+
+# ----------------------------------------------------------- battery + mask
+def test_default_battery_names():
+    assert DETECTOR_NAMES == ("email", "phone", "ssn", "credit_card",
+                              "location")
+    assert len(default_detectors()) == len(DEFAULT_DETECTORS)
+
+
+def test_detectors_are_deterministic():
+    text = "ann@x.io or (555) 301-0187, ssn 457-55-5462, in Fairview"
+    for detector in DEFAULT_DETECTORS:
+        assert detector.detect(text) == detector.detect(text)
+
+
+def test_mask_keeps_shape_not_content():
+    assert mask("555-0187") == "5**-****"
+    assert mask("ann@x.io") == "a**@*.**"
+    assert mask("") == ""
+    # masking never leaks more than the first character
+    assert "187" not in mask("555-0187")

@@ -1,0 +1,107 @@
+"""Scanner coverage: columns, relations, databases, marginals, sampling."""
+
+from repro.compliance import (ComplianceManifest, CompliancePolicy, Scanner,
+                              scan_database, scan_marginals, scan_rows)
+from repro.datastore import Database
+
+ROWS = [
+    ("ad0", "call 555-0187", "ann@x.io"),
+    ("ad1", "call (555) 301-0187", "bob@y.org"),
+    ("ad2", "no contact here", "not-an-email"),
+]
+COLUMNS = ("ad", "pitch", "contact")
+
+
+def make_db():
+    db = Database()
+    db.create("ads", ad="text", pitch="text", contact="text")
+    db.insert("ads", ROWS)
+    db.create("notes", body="text")
+    db.insert("notes", [("ssn on file 457-55-5462",), ("nothing",)])
+    return db
+
+
+def test_scan_rows_reports_per_column_detectors():
+    manifest = scan_rows("ads", COLUMNS, ROWS)
+    assert manifest.source == "scan"
+    assert manifest.rows_scanned == 3
+    phone = manifest.find("ads", "pitch", "phone")
+    assert phone is not None and phone.hits == 2
+    assert phone.rows_scanned == 3
+    assert 0 < phone.hit_rate < 1
+    email = manifest.find("ads", "contact", "email")
+    assert email is not None and email.hits == 2
+    # the ad-id column is clean
+    assert not [r for r in manifest.for_relation("ads") if r.column == "ad"]
+
+
+def test_examples_are_masked_never_raw():
+    manifest = scan_rows("ads", COLUMNS, ROWS)
+    for report in manifest:
+        for example in report.examples:
+            assert "555-0187" not in example
+            assert "ann@x.io" not in example
+
+
+def test_scan_database_sweeps_every_relation():
+    manifest = scan_database(make_db())
+    pairs = manifest.detected_columns()
+    assert ("ads", "pitch") in pairs
+    assert ("ads", "contact") in pairs
+    assert ("notes", "body") in pairs
+    assert manifest.rows_scanned == 5
+
+
+def test_scan_database_relation_subset():
+    manifest = scan_database(make_db(), relations=["notes"])
+    assert {r.relation for r in manifest} == {"notes"}
+    assert manifest.find("notes", "body", "ssn").confidence == 0.9
+
+
+def test_scan_is_deterministic():
+    db = make_db()
+    assert scan_database(db) == scan_database(db)
+
+
+def test_sampling_takes_a_prefix():
+    policy = CompliancePolicy(sample_rows=1)
+    manifest = scan_rows("ads", COLUMNS, ROWS, policy=policy)
+    assert manifest.rows_scanned == 1
+    phone = manifest.find("ads", "pitch", "phone")
+    assert phone.hits == 1 and phone.rows_scanned == 1
+
+
+def test_scan_marginals_uses_schemas_then_positional_names():
+    marginals = {
+        ("AdPhone", ("ad0", "555-0187")): 0.9,
+        ("AdPhone", ("ad1", "555-0188")): 0.8,
+        ("Mystery", ("bob@y.org",)): 0.7,
+    }
+    manifest = scan_marginals(marginals, {"AdPhone": ("ad", "phone")})
+    assert manifest.find("AdPhone", "phone", "phone").hits == 2
+    assert manifest.find("Mystery", "col0", "email").hits == 1
+    assert manifest.rows_scanned == 3
+
+
+def test_non_string_cells_are_stringified():
+    manifest = scan_rows("t", ("n",), [(4111111111111111,)])
+    assert manifest.find("t", "n", "credit_card") is not None
+
+
+def test_manifest_roundtrip_and_merge():
+    manifest = scan_rows("ads", COLUMNS, ROWS)
+    assert ComplianceManifest.from_dict(manifest.to_dict()) == manifest
+    merged = manifest.merge(manifest)
+    phone = merged.find("ads", "pitch", "phone")
+    assert phone.hits == 4 and phone.rows_scanned == 6
+    assert merged.rows_scanned == 6
+    assert ComplianceManifest.merge_all([None, manifest, None]) == manifest
+    assert ComplianceManifest.merge_all([None, None]) is None
+
+
+def test_scanner_custom_detector_battery():
+    from repro.compliance.detectors import EmailDetector
+    scanner = Scanner(detectors=(EmailDetector(),))
+    reports = scanner.scan_column("ads", "pitch",
+                                  [row[1] for row in ROWS])
+    assert reports == []                      # phones invisible to email-only

@@ -1,0 +1,124 @@
+"""Compliance invariants under hypothesis: the scrub transform is a pure,
+deterministic, probability-preserving relabeling; surrogates are stable and
+injective; scanning the same data twice yields the same manifest."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compliance import (Anonymizer, CompliancePolicy, scan_rows,
+                              scrub_marginals)
+from repro.compliance.detectors import DETECTOR_NAMES
+
+# ------------------------------------------------------------------ strategies
+plain_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs")),
+    min_size=0, max_size=20)
+
+phones = st.builds("555-{:04d}".format, st.integers(0, 9999))
+full_phones = st.builds("{:03d}-555-{:04d}".format,
+                        st.integers(200, 799), st.integers(0, 9999))
+emails = st.builds("u{}@host{}.example".format,
+                   st.integers(0, 9999), st.integers(0, 99))
+ssns = st.builds("{:03d}-{:02d}-{:04d}".format, st.integers(100, 699),
+                 st.integers(10, 99), st.integers(1000, 9999))
+
+cells = st.one_of(plain_text, phones, full_phones, emails, ssns,
+                  st.integers(-1000, 1000))
+
+rows2 = st.lists(st.tuples(plain_text, cells), min_size=0, max_size=12)
+
+marginal_maps = st.dictionaries(
+    keys=st.tuples(st.sampled_from(["R", "S"]),
+                   st.tuples(plain_text, cells)),
+    values=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0, max_size=15)
+
+ANON = CompliancePolicy(enabled=True, default_action="anonymize",
+                        min_confidence=0.5)
+
+
+# ------------------------------------------------------------------ surrogates
+@settings(max_examples=80, deadline=None)
+@given(detector=st.sampled_from(DETECTOR_NAMES + ("other",)),
+       value=st.text(min_size=1, max_size=40))
+def test_surrogates_are_stable(detector, value):
+    assert Anonymizer("k").surrogate(detector, value) \
+        == Anonymizer("k").surrogate(detector, value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(detector=st.sampled_from(DETECTOR_NAMES),
+       values=st.lists(st.text(min_size=1, max_size=30), min_size=2,
+                       max_size=20, unique=True))
+def test_surrogates_never_collide_across_distinct_raws(detector, values):
+    anonymizer = Anonymizer()
+    surrogates = [anonymizer.surrogate(detector, value) for value in values]
+    assert len(set(surrogates)) == len(values)
+    # raw values never survive into their own surrogate space verbatim
+    for value, surrogate in zip(values, surrogates):
+        assert surrogate != value
+
+
+# --------------------------------------------------------------------- scanner
+@settings(max_examples=50, deadline=None)
+@given(rows=rows2)
+def test_scanning_is_deterministic(rows):
+    first = scan_rows("t", ("a", "b"), rows)
+    second = scan_rows("t", ("a", "b"), rows)
+    assert first == second
+    assert first.rows_scanned == len(rows)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows2)
+def test_scan_examples_never_contain_detected_raw_values(rows):
+    manifest = scan_rows("t", ("a", "b"), rows)
+    for report in manifest:
+        for example in report.examples:
+            # masking keeps at most the first character of the raw value
+            assert not any(example == str(cell)
+                           for row in rows for cell in row
+                           if len(str(cell)) > 1)
+
+
+# ----------------------------------------------------------------- the scrub
+@settings(max_examples=60, deadline=None)
+@given(marginals=marginal_maps)
+def test_scrub_preserves_probabilities_bit_identically(marginals):
+    scrubbed, manifest = scrub_marginals(marginals, None, ANON)
+    assert sorted(map(repr, scrubbed.values())) \
+        == sorted(map(repr, marginals.values()))
+    assert len(scrubbed) == len(marginals)       # anonymize is injective
+    assert manifest.rows_scanned == len(marginals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(marginals=marginal_maps)
+def test_scrub_is_pure(marginals):
+    once = scrub_marginals(marginals, None, ANON)
+    twice = scrub_marginals(marginals, None, ANON)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(marginals=marginal_maps)
+def test_scrub_preserves_acceptance_decisions(marginals):
+    """Acceptance at any threshold commutes with the scrub: accepting then
+    scrubbing equals scrubbing then accepting, at every probability cut."""
+    scrubbed, _ = scrub_marginals(marginals, None, ANON)
+    key_map = dict(zip(marginals, scrubbed))     # order-preserving relabel
+    for threshold in (0.0, 0.25, 0.5, 0.9):
+        raw_accepted = {key for key, p in marginals.items()
+                        if p >= threshold}
+        scrub_accepted = {key for key, p in scrubbed.items()
+                          if p >= threshold}
+        assert scrub_accepted == {key_map[key] for key in raw_accepted}
+
+
+@settings(max_examples=40, deadline=None)
+@given(marginals=marginal_maps)
+def test_disabled_policy_is_identity(marginals):
+    scrubbed, manifest = scrub_marginals(marginals, None,
+                                         CompliancePolicy(enabled=True))
+    assert scrubbed == dict(marginals)
+    assert manifest.actions() == {}

@@ -136,3 +136,22 @@ class TestFacadeRouting:
                 assert service.snapshot() is client.snapshot()
             with pytest.warns(DeprecationWarning):
                 assert service.query("GoodName") == client.query("GoodName")
+
+    def test_shim_warnings_point_at_the_caller(self, tmp_path):
+        """The shims warn with ``stacklevel=2``, so the reported origin is
+        the *call site* (this file) — the line an operator must fix — not
+        the shim's own body in service.py."""
+        import warnings
+
+        with create_client(tmp_path) as client:
+            service = client.service
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", DeprecationWarning)
+                snapshot = service.snapshot()
+                service.query("GoodName")
+                service.marginal(next(iter(snapshot.marginals)))
+            shim_warnings = [w for w in caught
+                             if issubclass(w.category, DeprecationWarning)]
+            assert len(shim_warnings) == 3
+            for warning in shim_warnings:
+                assert warning.filename == __file__
