@@ -11,11 +11,15 @@ properties deliver that:
   surrogate in every scan, every publish, every recovery replay.  Join keys
   and dedup survive: two relations citing the same phone number still join
   after scrubbing.
-* **injectivity** — distinct raw values map to distinct surrogates.  The
-  surrogate spaces are large enough (≥ 10^10) that collisions are
-  vanishingly rare, and :class:`Anonymizer` keeps a per-detector registry
-  as a backstop: a collision raises :class:`SurrogateCollision` rather than
-  silently merging two people's records.
+* **injectivity** — distinct raw values map to distinct surrogates.  Each
+  detector uses the widest surrogate space its shape affords (phone 10^10,
+  credit card 10^15, email 2^48, location 2^64; SSN is the narrowest at
+  10^8 — nine digits with a fixed invalid leading ``9``), and
+  :class:`Anonymizer` keeps a per-detector registry as a backstop: a
+  collision raises :class:`SurrogateCollision` rather than silently merging
+  two people's records.  The publish path additionally degrades a colliding
+  cell to redaction (see :mod:`repro.compliance.apply`) so a one-in-10^8
+  event never takes down a serving loop.
 
 Surrogates are recognisably synthetic (``anon.3f2a…@redacted.example``,
 ``555-0102334455``) so a scrubbed export can never be mistaken for ground
@@ -79,12 +83,15 @@ class Anonymizer:
         elif detector == "phone":
             surrogate = f"555-{self._digits(digest, 10)}"
         elif detector == "ssn":
-            digits = self._digits(digest, 9)
-            surrogate = f"900-{digits[3:5]}-{digits[5:]}"
+            # 9XX area numbers are never issued, so the surrogate stays
+            # recognisably synthetic while keeping all 8 remaining digits
+            # of entropy (the widest space an SSN shape affords)
+            digits = self._digits(digest, 8)
+            surrogate = f"9{digits[:2]}-{digits[2:4]}-{digits[4:]}"
         elif detector == "credit_card":
             surrogate = "9" + self._digits(digest, 15)
         elif detector == "location":
-            surrogate = f"Place-{digest[:4].hex()}"
+            surrogate = f"Place-{digest[:8].hex()}"
         else:
             surrogate = f"anon:{digest[:8].hex()}"
         registry = self._seen.setdefault(detector, {})

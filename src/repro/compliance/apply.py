@@ -15,6 +15,19 @@ probabilities through untouched.  The guarantees the property suite pins:
 * the transform is a pure function of ``(marginals, schemas, policy)`` —
   recovery replays publish the same scrubbed views bit for bit.
 
+Two degradations are defined rather than left to chance:
+
+* a :class:`~repro.compliance.anonymizer.SurrogateCollision` during publish
+  degrades *that cell* to redaction instead of raising — a publish runs
+  inside the service apply loop, and a one-in-10^8 birthday event must not
+  kill serving (direct :class:`Anonymizer` use still raises, so audits and
+  the property suite keep the strict backstop);
+* when redaction collapses two distinct variable keys onto one scrubbed
+  key, the published probability is the **maximum** across the merged
+  originals — commutative, so independent of publish order, and
+  conservative for thresholded acceptance (a tuple that was accepted raw
+  stays accepted scrubbed).
+
 Action semantics per column (see :mod:`repro.compliance.policy`): explicit
 rules transform the **whole cell value** (the operator declared the column
 sensitive, matched or not); the detection-driven default action transforms
@@ -27,7 +40,7 @@ from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro import obs
-from repro.compliance.anonymizer import Anonymizer
+from repro.compliance.anonymizer import Anonymizer, SurrogateCollision
 from repro.compliance.detectors import DEFAULT_DETECTORS, Detector, mask
 from repro.compliance.manifest import ColumnReport, ComplianceManifest
 from repro.compliance.policy import CompliancePolicy
@@ -136,7 +149,7 @@ def scrub_marginals(marginals: Mapping,
 
     # ---- pass 2: rebuild the mapping in original publish order
     scrubbed: dict = {}
-    dropped = rewritten = collisions = 0
+    dropped = rewritten = collisions = surrogate_collisions = 0
     for (relation, values), probability in marginals.items():
         new_values = []
         drop = False
@@ -150,14 +163,24 @@ def scrub_marginals(marginals: Mapping,
                 drop = True
                 break
             if plan["explicit"]:
-                new_cell = scrub_value(cell, plan["action"],
-                                       plan["detector"], anonymizer)
+                detections = None
             else:
                 detections = cell_hits.get((relation, index, cell), ())
-                new_cell = scrub_value(cell, plan["action"],
-                                       plan["detector"], anonymizer,
-                                       detections=detections) \
-                    if detections else cell
+            if detections is not None and not detections:
+                new_cell = cell
+            else:
+                try:
+                    new_cell = scrub_value(cell, plan["action"],
+                                           plan["detector"], anonymizer,
+                                           detections=detections)
+                except SurrogateCollision:
+                    # birthday event inside the surrogate space: degrade
+                    # this cell to redaction rather than failing the
+                    # publish (and with it the service apply loop)
+                    surrogate_collisions += 1
+                    new_cell = scrub_value(cell, "redact",
+                                           plan["detector"], anonymizer,
+                                           detections=detections)
             changed = changed or new_cell != cell
             new_values.append(new_cell)
         if drop:
@@ -165,10 +188,14 @@ def scrub_marginals(marginals: Mapping,
             continue
         key = (relation, tuple(new_values))
         if key in scrubbed:
-            collisions += 1                      # only reachable via redact
+            # reachable via redact (or a degraded surrogate): keep the max
+            # probability — commutative, hence publish-order independent
+            collisions += 1
+            scrubbed[key] = max(scrubbed[key], probability)
+        else:
+            scrubbed[key] = probability
         if changed:
             rewritten += 1
-        scrubbed[key] = probability
 
     reports = [report
                for (_rel, _idx) in sorted(column_plan)
@@ -181,4 +208,7 @@ def scrub_marginals(marginals: Mapping,
         obs.count("compliance.publish.dropped", dropped)
         if collisions:
             obs.count("compliance.publish.collisions", collisions)
+        if surrogate_collisions:
+            obs.count("compliance.publish.surrogate_collisions",
+                      surrogate_collisions)
     return scrubbed, manifest

@@ -32,6 +32,49 @@ from repro.compliance.manifest import ColumnReport, ComplianceManifest
 from repro.compliance.policy import CompliancePolicy
 
 
+class _ColumnAccumulator:
+    """Streaming per-column aggregation: hit counts, confidence sums, and
+    masked examples per detector — cell values are never retained, so a
+    scan's memory footprint is O(columns × detectors), not O(rows)."""
+
+    __slots__ = ("max_examples", "hits", "confidence", "examples")
+
+    def __init__(self, max_examples: int) -> None:
+        self.max_examples = max_examples
+        self.hits: dict[str, int] = {}
+        self.confidence: dict[str, float] = {}
+        self.examples: dict[str, list[str]] = {}
+
+    def add(self, detections: Iterable[Detection]) -> None:
+        """Fold one cell's detections in."""
+        for detection in detections:
+            name = detection.detector
+            self.hits[name] = self.hits.get(name, 0) + 1
+            self.confidence[name] = self.confidence.get(name, 0.0) \
+                + detection.confidence
+            examples = self.examples.setdefault(name, [])
+            if len(examples) < self.max_examples:
+                masked = mask(detection.value)
+                if masked not in examples:
+                    examples.append(masked)
+
+    def reports(self, relation: str, column: str,
+                detectors: Sequence[Detector],
+                rows_scanned: int) -> list[ColumnReport]:
+        """One report per detector that hit, in battery order."""
+        out: list[ColumnReport] = []
+        for detector in detectors:
+            hits = self.hits.get(detector.name, 0)
+            if not hits:
+                continue
+            out.append(ColumnReport(
+                relation=relation, column=column, detector=detector.name,
+                rows_scanned=rows_scanned, hits=hits,
+                confidence=self.confidence[detector.name] / hits,
+                examples=tuple(self.examples.get(detector.name, ()))))
+        return out
+
+
 class Scanner:
     """Detector battery + aggregation policy for one compliance sweep."""
 
@@ -54,56 +97,42 @@ class Scanner:
                     values: Iterable) -> list[ColumnReport]:
         """Per-detector reports over one column (only detectors that hit)."""
         limit = self.policy.sample_rows
-        hits: dict[str, list[Detection]] = {}
+        accumulator = _ColumnAccumulator(self.policy.max_examples)
         scanned = 0
         for value in values:
             if limit and scanned >= limit:
                 break
             scanned += 1
-            for detection in self.detect_value(value):
-                hits.setdefault(detection.detector, []).append(detection)
-        reports = []
-        for detector in self.detectors:
-            detections = hits.get(detector.name)
-            if not detections:
-                continue
-            confidence = sum(d.confidence for d in detections) \
-                / len(detections)
-            examples = []
-            for detection in detections:
-                masked = mask(detection.value)
-                if masked not in examples:
-                    examples.append(masked)
-                if len(examples) >= self.policy.max_examples:
-                    break
-            reports.append(ColumnReport(
-                relation=relation, column=column, detector=detector.name,
-                rows_scanned=scanned, hits=len(detections),
-                confidence=confidence, examples=tuple(examples)))
-        return reports
+            accumulator.add(self.detect_value(value))
+        return accumulator.reports(relation, column, self.detectors, scanned)
 
     # ------------------------------------------------------------- relations
     def scan_relation(self, relation, name: str | None = None,
-                      ) -> list[ColumnReport]:
+                      ) -> tuple[list[ColumnReport], int]:
         """Scan one datastore relation column-by-column.
 
-        Streams ``iter_rows()`` once (so segmented relations never
-        materialize) and buckets cell values per column by schema name.
+        Returns ``(reports, rows_scanned)``.  Streams ``iter_rows()`` once,
+        feeding each cell straight into a per-column accumulator — no cell
+        value is retained, so segmented (larger-than-memory) relations
+        never materialize.
         """
         name = name if name is not None else relation.name
         columns = relation.schema.names
         limit = self.policy.sample_rows
-        buckets: list[list] = [[] for _ in columns]
+        accumulators = [_ColumnAccumulator(self.policy.max_examples)
+                        for _ in columns]
         scanned = 0
         for row in relation.iter_rows():
             if limit and scanned >= limit:
                 break
             scanned += 1
             for index, value in enumerate(row):
-                buckets[index].append(value)
+                if index < len(accumulators):
+                    accumulators[index].add(self.detect_value(value))
         reports: list[ColumnReport] = []
-        for column, values in zip(columns, buckets):
-            reports.extend(self.scan_column(name, column, values))
+        for column, accumulator in zip(columns, accumulators):
+            reports.extend(accumulator.reports(name, column,
+                                               self.detectors, scanned))
         return reports, scanned
 
     def scan_database(self, db, relations: Sequence[str] | None = None,
@@ -167,21 +196,24 @@ class Scanner:
 # ------------------------------------------------------- module-level sugar
 def scan_rows(relation: str, columns: Sequence[str], rows: Iterable,
               policy: CompliancePolicy | None = None) -> ComplianceManifest:
-    """Scan bare rows (any iterable of tuples) under ``columns`` names."""
+    """Scan bare rows (any iterable of tuples) under ``columns`` names,
+    streaming — rows are consumed once and never retained."""
     scanner = Scanner(policy)
     limit = scanner.policy.sample_rows
-    buckets: list[list] = [[] for _ in columns]
+    accumulators = [_ColumnAccumulator(scanner.policy.max_examples)
+                    for _ in columns]
     scanned = 0
     for row in rows:
         if limit and scanned >= limit:
             break
         scanned += 1
         for index, value in enumerate(row):
-            if index < len(buckets):
-                buckets[index].append(value)
+            if index < len(accumulators):
+                accumulators[index].add(scanner.detect_value(value))
     reports: list[ColumnReport] = []
-    for column, values in zip(columns, buckets):
-        reports.extend(scanner.scan_column(relation, column, values))
+    for column, accumulator in zip(columns, accumulators):
+        reports.extend(accumulator.reports(relation, column,
+                                           scanner.detectors, scanned))
     return ComplianceManifest(source="scan", reports=tuple(reports),
                               rows_scanned=scanned)
 

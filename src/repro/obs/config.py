@@ -18,6 +18,7 @@ that).  Mutating the environment after construction has no effect.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, replace
 from typing import Mapping
 
@@ -317,9 +318,19 @@ _COMPLIANCE_PARSERS = {
 }
 
 
-def compliance_env_overrides(environ: Mapping[str, str] | None = None) -> dict:
+def compliance_env_overrides(environ: Mapping[str, str] | None = None,
+                             invalid: dict | None = None) -> dict:
     """Parse ``REPRO_COMPLIANCE_*`` fallbacks into CompliancePolicy keyword
-    overrides — read once, leniently, in this module and nowhere else."""
+    overrides — read once, in this module and nowhere else.
+
+    Unlike the other ``*_env_overrides`` readers, a compliance knob that is
+    set but unparseable is never dropped *silently*: discarding a typo'd
+    value would fail open (publish raw PII while the operator believes a
+    policy is active).  Each discard emits a :class:`RuntimeWarning` and is
+    recorded in ``invalid`` (field name -> raw value) when the caller
+    passes a dict — ``CompliancePolicy.from_env`` uses that to refuse to
+    construct an *enabled* policy from a partially-invalid environment.
+    """
     env = os.environ if environ is None else environ
     overrides: dict = {}
     for field_name, var in COMPLIANCE_ENV_VARS.items():
@@ -329,5 +340,9 @@ def compliance_env_overrides(environ: Mapping[str, str] | None = None) -> dict:
         try:
             overrides[field_name] = _COMPLIANCE_PARSERS[field_name](raw)
         except ValueError:
-            continue
+            warnings.warn(
+                f"ignoring unparseable compliance override {var}={raw!r}",
+                RuntimeWarning, stacklevel=2)
+            if invalid is not None:
+                invalid[field_name] = raw
     return overrides

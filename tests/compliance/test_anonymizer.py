@@ -1,5 +1,7 @@
 """Anonymizer invariants: stability, injectivity backstop, span rewriting."""
 
+import re
+
 import pytest
 
 from repro.compliance.anonymizer import Anonymizer, SurrogateCollision
@@ -28,11 +30,25 @@ def test_surrogate_shapes():
     email = a.surrogate("email", "ann@x.io")
     assert email.startswith("anon.") and email.endswith("@redacted.example")
     assert a.surrogate("phone", "555-0187").startswith("555-")
-    assert a.surrogate("ssn", "457-55-5462").startswith("900-")
+    # 9xx area numbers are never issued; all 8 remaining digits derived
+    ssn = a.surrogate("ssn", "457-55-5462")
+    assert re.fullmatch(r"9\d{2}-\d{2}-\d{4}", ssn)
     card = a.surrogate("credit_card", "4111111111111111")
     assert card.startswith("9") and len(card) == 16
-    assert a.surrogate("location", "Fairview").startswith("Place-")
+    location = a.surrogate("location", "Fairview")
+    assert location.startswith("Place-")
+    assert len(location) == len("Place-") + 16     # 64-bit token
     assert a.surrogate("anything_else", "x").startswith("anon:")
+
+
+def test_ssn_surrogates_use_the_full_derived_digit_space():
+    # the 8 derived digits must all vary — a fixed prefix would shrink the
+    # surrogate space and invite birthday collisions (review finding)
+    a = Anonymizer()
+    surrogates = {a.surrogate("ssn", f"457-55-{i:04d}") for i in range(200)}
+    assert len(surrogates) == 200
+    digit_tails = {s.replace("-", "")[1:] for s in surrogates}
+    assert len(digit_tails) == 200
 
 
 def test_distinct_raws_get_distinct_surrogates():

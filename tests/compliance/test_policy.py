@@ -60,19 +60,17 @@ def test_with_options():
     assert policy.enabled and policy.default_action == "anonymize"
 
 
-def test_env_overrides_parse_and_ignore_invalid():
+def test_env_overrides_parse():
     environ = {
         "REPRO_COMPLIANCE_ENABLED": "1",
         "REPRO_COMPLIANCE_ACTION": "anonymize",
         "REPRO_COMPLIANCE_MIN_CONFIDENCE": "0.7",
         "REPRO_COMPLIANCE_KEY": "secret",
         "REPRO_COMPLIANCE_RULES": "AdPhone.phone=drop",
-        "REPRO_COMPLIANCE_SAMPLE_ROWS": "not-a-number",   # ignored
     }
     overrides = compliance_env_overrides(environ)
     assert overrides["enabled"] is True
     assert overrides["default_action"] == "anonymize"
-    assert "sample_rows" not in overrides
 
     policy = CompliancePolicy.from_env(environ)
     assert policy.enabled and policy.key == "secret"
@@ -80,12 +78,42 @@ def test_env_overrides_parse_and_ignore_invalid():
     assert policy.action_for("AdPhone", "phone") == "drop"
 
 
-def test_from_env_invalid_value_falls_back_per_field():
-    policy = CompliancePolicy.from_env({
-        "REPRO_COMPLIANCE_ENABLED": "1",
-        "REPRO_COMPLIANCE_ACTION": "shred",               # invalid
-    })
-    assert policy.enabled
+def test_env_overrides_warn_and_report_unparseable_values():
+    invalid = {}
+    with pytest.warns(RuntimeWarning, match="SAMPLE_ROWS"):
+        overrides = compliance_env_overrides(
+            {"REPRO_COMPLIANCE_SAMPLE_ROWS": "not-a-number"},
+            invalid=invalid)
+    assert "sample_rows" not in overrides
+    assert invalid == {"sample_rows": "not-a-number"}
+
+
+def test_from_env_enabled_with_invalid_value_fails_closed():
+    # a typo'd action under an enabled policy must not silently fall back
+    # to 'allow' and publish raw PII — construction refuses instead
+    with pytest.raises(PolicyError, match="anonimize"):
+        CompliancePolicy.from_env({
+            "REPRO_COMPLIANCE_ENABLED": "1",
+            "REPRO_COMPLIANCE_ACTION": "anonimize",       # typo
+        })
+    with pytest.raises(PolicyError, match="sample_rows"):
+        CompliancePolicy.from_env({
+            "REPRO_COMPLIANCE_ENABLED": "1",
+            "REPRO_COMPLIANCE_SAMPLE_ROWS": "not-a-number",
+        })
+    with pytest.raises(PolicyError, match="rules"):
+        CompliancePolicy.from_env({
+            "REPRO_COMPLIANCE_ENABLED": "1",
+            "REPRO_COMPLIANCE_RULES": "AdPhone.phone",    # no action
+        })
+
+
+def test_from_env_disabled_invalid_value_warns_and_falls_back():
+    with pytest.warns(RuntimeWarning, match="default_action"):
+        policy = CompliancePolicy.from_env({
+            "REPRO_COMPLIANCE_ACTION": "shred",           # invalid
+        })
+    assert not policy.enabled
     assert policy.default_action == "allow"
 
 

@@ -83,17 +83,39 @@ def test_explicit_rule_scrubs_whole_column_even_undetected():
     assert manifest.actions()[("AdEmail", "email")] == "redact"
 
 
-def test_redact_may_collide_and_is_deterministic():
+def test_redact_collision_merges_to_max_order_independently():
     policy = CompliancePolicy(enabled=True, default_action="redact",
                               min_confidence=0.5)
-    marginals = {
-        ("R", ("555-0187",)): 0.2,
-        ("R", ("555-0188",)): 0.9,
+    forward = {
+        ("R", ("555-0187",)): 0.9,
+        ("R", ("555-0188",)): 0.2,
     }
-    scrubbed, _ = scrub_marginals(marginals, None, policy)
-    assert set(scrubbed) == {("R", ("[REDACTED:phone]",))}
-    # last-wins determinism: dict order is publish order
-    assert scrubbed[("R", ("[REDACTED:phone]",))] == 0.9
+    backward = dict(reversed(list(forward.items())))
+    for marginals in (forward, backward):
+        scrubbed, _ = scrub_marginals(marginals, None, policy)
+        assert set(scrubbed) == {("R", ("[REDACTED:phone]",))}
+        # merged keys keep the max probability, whatever the publish order
+        assert scrubbed[("R", ("[REDACTED:phone]",))] == 0.9
+
+
+def test_surrogate_collision_degrades_cell_to_redaction(monkeypatch):
+    # force every phone onto one surrogate: the second distinct raw value
+    # must degrade to redaction instead of raising out of the publish (a
+    # SurrogateCollision escaping here would kill the service apply loop)
+    anonymizer = Anonymizer()
+    monkeypatch.setattr(anonymizer, "_digest",
+                        lambda detector, value: b"\x00" * 32)
+    marginals = {
+        ("R", ("555-0187",)): 0.4,
+        ("R", ("555-0188",)): 0.8,
+    }
+    scrubbed, _ = scrub_marginals(marginals, None, anonymize_policy(),
+                                  anonymizer=anonymizer)
+    claimed = anonymizer.surrogate("phone", "555-0187")   # stable re-use
+    assert set(scrubbed) == {("R", (claimed,)),
+                             ("R", ("[REDACTED:phone]",))}
+    assert scrubbed[("R", (claimed,))] == 0.4
+    assert scrubbed[("R", ("[REDACTED:phone]",))] == 0.8
 
 
 def test_min_confidence_gates_detection_driven_scrubbing():

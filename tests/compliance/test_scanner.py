@@ -105,3 +105,32 @@ def test_scanner_custom_detector_battery():
     reports = scanner.scan_column("ads", "pitch",
                                   [row[1] for row in ROWS])
     assert reports == []                      # phones invisible to email-only
+
+
+class _CountingRelation:
+    """Row-iterator protocol stub that counts how far it was consumed."""
+
+    name = "stream"
+
+    class schema:
+        names = ("body",)
+
+    def __init__(self, total):
+        self.total = total
+        self.pulled = 0
+
+    def iter_rows(self):
+        for i in range(self.total):
+            self.pulled += 1
+            yield (f"row {i} call 555-0187",)
+
+
+def test_scan_relation_streams_and_sampling_stops_consuming():
+    relation = _CountingRelation(10_000)
+    scanner = Scanner(CompliancePolicy(sample_rows=3))
+    reports, scanned = scanner.scan_relation(relation)
+    assert scanned == 3
+    # prefix sampling: the stream is abandoned, not drained (and rows are
+    # fed straight into accumulators, never buffered per column)
+    assert relation.pulled <= 4
+    assert reports[0].detector == "phone" and reports[0].hits == 3
